@@ -1,0 +1,47 @@
+"""Shared benchmark helpers: scale selection and report persistence.
+
+Every benchmark regenerates one paper table/figure, prints it, and
+writes the formatted text under ``benchmarks/results/`` so the
+artifacts survive the pytest run. Set ``EDGEHD_BENCH_SCALE=quick`` to
+shrink everything for smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments.harness import ExperimentScale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benchmark scale: paper parameters (D=4000) with laptop sample counts.
+BENCH = ExperimentScale(
+    name="bench", data_scale=0.2, max_train=2500, max_test=700,
+    dimension=4000, retrain_epochs=15, batch_size=10,
+)
+
+#: Smoke scale for CI-style runs.
+SMOKE = ExperimentScale(
+    name="smoke", data_scale=0.05, max_train=700, max_test=250,
+    dimension=1024, retrain_epochs=5, batch_size=10,
+)
+
+
+def bench_scale() -> ExperimentScale:
+    """Active scale, controlled by EDGEHD_BENCH_SCALE."""
+    if os.environ.get("EDGEHD_BENCH_SCALE", "").lower() in {"quick", "smoke"}:
+        return SMOKE
+    return BENCH
+
+
+def save_report(name: str, text: str) -> None:
+    """Print the report and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

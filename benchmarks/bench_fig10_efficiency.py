@@ -1,0 +1,26 @@
+"""Fig. 10 — execution time & energy of the four system configurations.
+
+Paper claims reproduced (shape): EdgeHD beats HD-GPU / HD-FPGA /
+DNN-GPU on both time and energy for training; HD beats DNN everywhere;
+the TREE topology pays more communication than STAR; EdgeHD slashes
+communication (paper: 85% train / 78% inference).
+"""
+
+from _common import run_once, save_report
+
+from repro.experiments.efficiency import format_figure10, run_figure10
+
+
+def bench_figure10(benchmark):
+    result = run_once(benchmark, lambda: run_figure10())
+    save_report("fig10_efficiency", format_figure10(result))
+    # Headline orderings of Sec. VI-D.
+    assert result.speedup("train", "edgehd", "hd-gpu") > 1.0
+    assert result.energy_gain("train", "edgehd", "hd-gpu") > 1.0
+    assert result.energy_gain("train", "edgehd", "dnn-gpu") > result.energy_gain(
+        "train", "edgehd", "hd-gpu"
+    )
+    assert result.speedup("train", "hd-gpu", "dnn-gpu") > 1.0
+    # Communication savings in the paper's direction.
+    assert result.communication_saving("train", "edgehd", "hd-fpga") > 0.5
+    assert result.communication_saving("infer", "edgehd", "hd-fpga") > 0.5

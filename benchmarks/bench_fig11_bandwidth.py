@@ -1,0 +1,26 @@
+"""Fig. 11 — impact of network bandwidth on hierarchical inference.
+
+Paper claims reproduced: the EdgeHD speedup over centralized HD-FPGA
+grows as bandwidth shrinks, and deciding at a lower level is faster
+than at the top.
+"""
+
+from _common import run_once, save_report
+
+from repro.experiments.bandwidth import format_figure11, run_figure11
+
+
+def bench_figure11(benchmark):
+    result = run_once(benchmark, lambda: run_figure11())
+    save_report("fig11_bandwidth", format_figure11(result))
+    # Lower bandwidth -> higher mean speedup.
+    assert result.mean_speedup("bluetooth-4.0") > result.mean_speedup(
+        "wifi-802.11ac"
+    )
+    assert result.mean_speedup("wifi-802.11ac") > result.mean_speedup(
+        "wired-1gbps"
+    )
+    # Lower inference level is faster on every medium.
+    for medium in result.media:
+        assert result.speedup[(medium, 1)] > result.speedup[(medium, 2)]
+        assert result.speedup[(medium, 2)] > result.speedup[(medium, 3)]

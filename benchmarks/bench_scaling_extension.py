@@ -1,0 +1,23 @@
+"""Extension study — training cost vs swarm size.
+
+Not a paper figure; quantifies the scalability argument behind the
+paper's challenge (iii): EdgeHD's traffic stays nearly flat as the
+swarm grows, centralized raw upload grows linearly, and a vertical-
+federated DNN (the non-trivial way to federate a neural net over
+heterogeneous features) grows linearly *per epoch*.
+"""
+
+from _common import run_once, save_report
+
+from repro.experiments.scaling import format_scaling, run_scaling
+
+
+def bench_scaling(benchmark):
+    result = run_once(benchmark, lambda: run_scaling())
+    save_report("scaling_extension", format_scaling(result))
+    assert result.growth("edgehd") < result.growth("centralized-hd") + 0.5
+    assert result.growth("vertical-dnn") > result.growth("edgehd")
+    n = max(result.node_counts)
+    assert result.traffic_bytes[("edgehd", n)] < result.traffic_bytes[
+        ("centralized-hd", n)
+    ]

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""FPGA design-space exploration for EdgeHD nodes (Sec. V).
+
+Sweeps the per-node FPGA design — DSP allocation, encoder sparsity,
+dimensionality — and reports throughput (samples/s), power, and where
+the design stops fitting the Kintex-7 KC705 budget. Reproduces the
+Sec. V design points: the centralized instance near 9.8 W and the tiny
+per-node instances near 0.28 W.
+
+Run:  python examples/hardware_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.hardware.fpga import KC705, FPGADesign
+from repro.hardware.ops import encoding_ops, hd_inference_ops
+from repro.hardware.platforms import FPGA_NODE, GPU_GTX1080TI
+
+
+def sweep_dsp() -> None:
+    print("DSP allocation sweep (n=312, D=4000, K=3, s=0.8):")
+    print(f"{'DSPs':>6} {'enc cycles':>11} {'power (W)':>10} {'fits KC705':>11}")
+    for n_dsp in (16, 64, 256, 840, 2000):
+        design = FPGADesign(312, 4000, 3, sparsity=0.8, n_dsp=n_dsp)
+        print(
+            f"{n_dsp:>6} {design.encoding_cycles(1):>11} "
+            f"{design.power_w():>10.2f} {str(design.fits()):>11}"
+        )
+
+
+def sweep_sparsity() -> None:
+    print("\nsparsity sweep (n=312, D=4000, K=3, 840 DSPs):")
+    print(f"{'s':>6} {'enc cycles':>11} {'BRAM kbit':>10} {'samples/s':>10}")
+    for sparsity in (0.0, 0.5, 0.8, 0.95):
+        design = FPGADesign(312, 4000, 3, sparsity=sparsity, n_dsp=840)
+        cycles = design.inference_cycles(1)
+        throughput = design.clock_hz / cycles
+        print(
+            f"{sparsity:>6.2f} {design.encoding_cycles(1):>11} "
+            f"{design.weight_storage_kbits():>10.0f} {throughput:>10.0f}"
+        )
+
+
+def node_vs_central() -> None:
+    print("\npaper design points:")
+    central = FPGADesign(312, 4000, 3, sparsity=0.8, n_dsp=840)
+    node = FPGADesign(25, 320, 3, sparsity=0.8, n_dsp=16)
+    for label, design, paper_w in (
+        ("centralized", central, 9.8),
+        ("per-node", node, 0.28),
+    ):
+        print(
+            f"  {label:>12}: {design.power_w():.2f} W "
+            f"(paper: {paper_w} W), fits KC705: {design.fits()}"
+        )
+
+
+def energy_per_query() -> None:
+    print("\nenergy per inference query (n=75, D=4000, K=5):")
+    ops = encoding_ops(1, 75, 4000, 0.8) + hd_inference_ops(1, 4000, 5)
+    for platform in (FPGA_NODE, GPU_GTX1080TI):
+        print(
+            f"  {platform.name:>16}: {1e6 * platform.energy(ops):.2f} uJ "
+            f"({1e6 * platform.execution_time(ops):.1f} us)"
+        )
+
+
+def main() -> None:
+    print(f"target part: {KC705.name} "
+          f"({KC705.n_dsp} DSPs, {KC705.bram_kbits} kbit BRAM)\n")
+    sweep_dsp()
+    sweep_sparsity()
+    node_vs_central()
+    energy_per_query()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+This is the driver behind `pytest benchmarks/`, exposed as a plain
+script: each section prints the rows/series the corresponding paper
+table or figure reports, side by side with the paper's headline
+numbers.
+
+Run:  python examples/reproduce_paper.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (
+    STANDARD,
+    ExperimentScale,
+    format_figure7,
+    format_figure8,
+    format_figure9,
+    format_figure10,
+    format_figure11,
+    format_figure12,
+    format_figure13,
+    format_table2,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+    run_figure13,
+    run_table2,
+)
+
+QUICK = ExperimentScale(
+    name="quick", data_scale=0.05, max_train=700, max_test=250,
+    dimension=1024, retrain_epochs=5, batch_size=10,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small scale for a fast smoke run",
+    )
+    args = parser.parse_args()
+    scale = QUICK if args.quick else STANDARD
+
+    sections = [
+        ("Fig. 7", lambda: format_figure7(run_figure7(scale=scale))),
+        ("Table II", lambda: format_table2(run_table2(scale=scale))),
+        ("Fig. 8", lambda: format_figure8(run_figure8(scale=scale))),
+        ("Fig. 9", lambda: format_figure9(run_figure9(scale=scale, n_steps=5))),
+        ("Fig. 10", lambda: format_figure10(run_figure10())),
+        ("Fig. 11", lambda: format_figure11(run_figure11())),
+        ("Fig. 12", lambda: format_figure12(run_figure12(scale=scale))),
+        ("Fig. 13", lambda: format_figure13(run_figure13(scale=scale))),
+    ]
+    for name, runner in sections:
+        start = time.perf_counter()
+        print(f"\n{'=' * 70}\n{name}\n{'=' * 70}")
+        print(runner())
+        print(f"[{name} regenerated in {time.perf_counter() - start:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Comparison baselines: MLP (DNN), kernel SVM, AdaBoost, linear HD,
+and the centralized-learning configuration."""
+
+from repro.baselines.adaboost import AdaBoostClassifier, DecisionStump
+from repro.baselines.centralized import (
+    CentralizedHD,
+    CentralizedTrainingReport,
+    centralized_upload_messages,
+)
+from repro.baselines.federated_dnn import VerticalFedMLP, VerticalFedTrainingReport
+from repro.baselines.linear_hd import LinearHDClassifier
+from repro.baselines.mlp import MLPClassifier
+from repro.baselines.svm import KernelSVM
+
+__all__ = [
+    "AdaBoostClassifier",
+    "DecisionStump",
+    "CentralizedHD",
+    "CentralizedTrainingReport",
+    "centralized_upload_messages",
+    "VerticalFedMLP",
+    "VerticalFedTrainingReport",
+    "LinearHDClassifier",
+    "MLPClassifier",
+    "KernelSVM",
+]

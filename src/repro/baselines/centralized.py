@@ -1,0 +1,121 @@
+"""Centralized learning baseline (Fig. 1b).
+
+Every end node ships its *raw sensor data* through the hierarchy to the
+central node, which encodes, trains and serves the single global model.
+This is the configuration EdgeHD is measured against in Figs. 10/11/13:
+the classifier itself can be HD (HD-GPU / HD-FPGA) or a DNN (DNN-GPU);
+the communication pattern is what distinguishes it from EdgeHD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG, EdgeHDConfig
+from repro.core.model import EdgeHDModel, raw_data_bytes
+from repro.data.partition import FeaturePartition
+from repro.hierarchy.topology import Hierarchy
+from repro.network.message import Message, MessageKind
+from repro.utils.validation import check_labels, check_matrix
+
+__all__ = ["CentralizedHD", "centralized_upload_messages"]
+
+
+def centralized_upload_messages(
+    hierarchy: Hierarchy,
+    partition: FeaturePartition,
+    n_samples: int,
+    kind: MessageKind = MessageKind.RAW_DATA,
+) -> List[Message]:
+    """Messages for shipping all raw data to the central node.
+
+    Each end node sends ``n_samples x n_i`` floats; every intermediate
+    hop forwards the aggregate of its subtree (store-and-forward
+    through gateways, as in the TREE topology discussion of Fig. 10).
+    """
+    if n_samples < 0:
+        raise ValueError("n_samples must be >= 0")
+    messages: List[Message] = []
+    subtree_bytes: dict[int, int] = {}
+    for node_id in hierarchy.postorder():
+        node = hierarchy.nodes[node_id]
+        if node.is_leaf:
+            n_local = len(partition.columns(node.leaf_index))
+            subtree_bytes[node_id] = raw_data_bytes(n_samples, n_local)
+        else:
+            subtree_bytes[node_id] = sum(
+                subtree_bytes[c] for c in node.children
+            )
+        if node.parent is not None:
+            messages.append(
+                Message(
+                    source=node_id,
+                    destination=node.parent,
+                    kind=kind,
+                    payload_bytes=subtree_bytes[node_id],
+                )
+            )
+    return messages
+
+
+@dataclass
+class CentralizedTrainingReport:
+    """Training outcome + the upload traffic it required."""
+
+    train_accuracy: float
+    messages: List[Message] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.payload_bytes for m in self.messages)
+
+
+class CentralizedHD:
+    """HD learning with all data collected at the central node."""
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        partition: FeaturePartition,
+        n_classes: int,
+        config: EdgeHDConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.partition = partition
+        self.config = config
+        self.model = EdgeHDModel(
+            n_features=partition.n_features,
+            n_classes=n_classes,
+            dimension=config.dimension,
+            encoder=config.encoder,
+            sparsity=config.sparsity,
+            binarize=config.binarize,
+            seed=config.seed,
+        )
+
+    def fit(self, train_x: np.ndarray, train_y: np.ndarray) -> CentralizedTrainingReport:
+        """Upload everything, then train the global model centrally."""
+        mat = check_matrix("train_x", train_x, cols=self.partition.n_features)
+        y = check_labels("train_y", train_y, n_classes=self.model.n_classes)
+        messages = centralized_upload_messages(
+            self.hierarchy, self.partition, mat.shape[0]
+        )
+        report = self.model.fit(
+            mat, y, retrain_epochs=self.config.retrain_epochs,
+            learning_rate=self.config.retrain_learning_rate,
+        )
+        return CentralizedTrainingReport(
+            train_accuracy=report.final_accuracy, messages=messages
+        )
+
+    def inference_messages(self, n_queries: int) -> List[Message]:
+        """Per-query upload traffic for centralized inference."""
+        return centralized_upload_messages(
+            self.hierarchy, self.partition, n_queries, kind=MessageKind.QUERY
+        )
+
+    def accuracy(self, test_x: np.ndarray, test_y: np.ndarray) -> float:
+        return self.model.accuracy(test_x, test_y)

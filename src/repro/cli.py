@@ -1,0 +1,265 @@
+"""Command-line interface for the EdgeHD reproduction.
+
+Subcommands
+-----------
+``train``
+    Train a centralized EdgeHD model on a Table-I dataset stand-in and
+    optionally save the class hypervectors to an ``.npz`` checkpoint.
+``federate``
+    Run federated training over a STAR/TREE/PECAN hierarchy and report
+    per-level accuracy and communication volume.
+``reproduce``
+    Regenerate one (or all) of the paper's tables/figures.
+``datasets``
+    List the Table-I dataset registry.
+``report``
+    Stitch saved benchmark reports into one markdown document.
+
+Examples
+--------
+::
+
+    python -m repro.cli datasets
+    python -m repro.cli train --dataset ISOLET --dimension 2000
+    python -m repro.cli federate --dataset PDP --topology tree
+    python -m repro.cli reproduce --figure table2 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.config import EdgeHDConfig
+from repro.core.model import EdgeHDModel
+from repro.data import DATASETS, dataset_names, load_dataset, partition_features
+from repro.hierarchy import (
+    EdgeHDFederation,
+    HierarchicalInference,
+    build_pecan,
+    build_star,
+    build_tree,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    print(f"{'name':<8} {'features':>8} {'classes':>7} {'end nodes':>9} "
+          f"{'train':>8} {'test':>8}  description")
+    for name in dataset_names():
+        spec = DATASETS[name]
+        nodes = spec.n_end_nodes if spec.is_hierarchical else "-"
+        print(
+            f"{name:<8} {spec.n_features:>8} {spec.n_classes:>7} "
+            f"{nodes!s:>9} {spec.paper_train_size:>8} "
+            f"{spec.paper_test_size:>8}  {spec.description}"
+        )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    data = load_dataset(
+        args.dataset, scale=args.scale,
+        max_train=args.max_train, max_test=args.max_test, seed=args.seed,
+    )
+    model = EdgeHDModel(
+        data.n_features, data.n_classes,
+        dimension=args.dimension, encoder=args.encoder,
+        sparsity=args.sparsity, seed=args.seed,
+    )
+    report = model.fit(
+        data.train_x, data.train_y, retrain_epochs=args.epochs
+    )
+    accuracy = model.accuracy(data.test_x, data.test_y)
+    print(
+        f"{args.dataset}: initial {report.initial_accuracy:.3f} -> "
+        f"trained {report.final_accuracy:.3f} (train), "
+        f"test accuracy {accuracy:.3f}"
+    )
+    if args.save:
+        model.save_model(args.save)
+        print(f"model saved to {args.save}")
+    return 0
+
+
+def _cmd_federate(args: argparse.Namespace) -> int:
+    spec = DATASETS[args.dataset]
+    if not spec.is_hierarchical:
+        print(
+            f"error: {args.dataset} has no end-node layout; choose one of "
+            f"PECAN/PAMAP2/APRI/PDP", file=sys.stderr,
+        )
+        return 2
+    data = load_dataset(
+        args.dataset, scale=args.scale,
+        max_train=args.max_train, max_test=args.max_test, seed=args.seed,
+    )
+    if args.topology == "star":
+        hierarchy = build_star(spec.n_end_nodes)
+    elif args.topology == "pecan":
+        hierarchy = build_pecan(n_appliances=spec.n_end_nodes)
+    else:
+        hierarchy = build_tree(spec.n_end_nodes)
+    partition = partition_features(data.n_features, spec.n_end_nodes)
+    config = EdgeHDConfig(
+        dimension=args.dimension, retrain_epochs=args.epochs,
+        batch_size=args.batch_size, seed=args.seed,
+    )
+    federation = EdgeHDFederation(
+        hierarchy, partition, data.n_classes, config
+    )
+    report = federation.fit_offline(data.train_x, data.train_y)
+    print(
+        f"{args.dataset} over {args.topology.upper()} "
+        f"({len(hierarchy.nodes)} nodes, depth {hierarchy.depth}):"
+    )
+    for level, acc in federation.accuracy_by_level(
+        data.test_x, data.test_y
+    ).items():
+        print(f"  level {level}: accuracy {acc:.3f}")
+    print(
+        f"  training traffic: {report.total_bytes / 1024:.1f} KiB "
+        f"in {len(report.messages)} messages"
+    )
+    inference = HierarchicalInference(federation)
+    accuracy, outcome = inference.evaluate(data.test_x, data.test_y)
+    print(
+        f"  escalating inference: accuracy {accuracy:.3f}, "
+        f"{outcome.total_bytes / 1024:.1f} KiB escalation traffic"
+    )
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        STANDARD,
+        ExperimentScale,
+        format_figure7,
+        format_figure8,
+        format_figure9,
+        format_figure10,
+        format_figure11,
+        format_figure12,
+        format_figure13,
+        format_table2,
+        run_figure7,
+        run_figure8,
+        run_figure9,
+        run_figure10,
+        run_figure11,
+        run_figure12,
+        run_figure13,
+        run_table2,
+    )
+
+    quick = ExperimentScale(
+        name="quick", data_scale=0.05, max_train=700, max_test=250,
+        dimension=1024, retrain_epochs=5, batch_size=10,
+    )
+    scale = quick if args.quick else STANDARD
+    registry: Dict[str, Callable[[], str]] = {
+        "fig7": lambda: format_figure7(run_figure7(scale=scale)),
+        "table2": lambda: format_table2(run_table2(scale=scale)),
+        "fig8": lambda: format_figure8(run_figure8(scale=scale)),
+        "fig9": lambda: format_figure9(run_figure9(scale=scale, n_steps=5)),
+        "fig10": lambda: format_figure10(run_figure10()),
+        "fig11": lambda: format_figure11(run_figure11()),
+        "fig12": lambda: format_figure12(run_figure12(scale=scale)),
+        "fig13": lambda: format_figure13(run_figure13(scale=scale)),
+    }
+    targets = registry if args.figure == "all" else {args.figure: registry[args.figure]}
+    for name, runner in targets.items():
+        print(f"\n=== {name} ===")
+        print(runner())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.report import collect_reports, render_markdown
+
+    sections = collect_reports(Path(args.results_dir))
+    markdown = render_markdown(
+        sections,
+        heading="EdgeHD measured results",
+        preamble=(
+            "Generated from `pytest benchmarks/` reports in "
+            f"`{args.results_dir}`."
+        ),
+    )
+    if args.output:
+        Path(args.output).write_text(markdown)
+        print(f"wrote {args.output} ({len(sections)} sections)")
+    else:
+        print(markdown)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="EdgeHD reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table-I dataset registry")
+
+    def add_data_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", default="PDP", choices=dataset_names())
+        p.add_argument("--scale", type=float, default=0.1)
+        p.add_argument("--max-train", type=int, default=2000)
+        p.add_argument("--max-test", type=int, default=600)
+        p.add_argument("--dimension", type=int, default=4000)
+        p.add_argument("--epochs", type=int, default=10)
+        p.add_argument("--seed", type=int, default=7)
+
+    train = sub.add_parser("train", help="train a centralized EdgeHD model")
+    add_data_args(train)
+    train.add_argument(
+        "--encoder", default="rbf",
+        choices=("rbf", "cos-sin", "linear", "id-level"),
+    )
+    train.add_argument("--sparsity", type=float, default=0.8)
+    train.add_argument("--save", default=None, help="checkpoint path (.npz)")
+
+    federate = sub.add_parser("federate", help="federated hierarchical training")
+    add_data_args(federate)
+    federate.add_argument(
+        "--topology", default="tree", choices=("star", "tree", "pecan")
+    )
+    federate.add_argument("--batch-size", type=int, default=10)
+
+    report = sub.add_parser(
+        "report", help="aggregate saved benchmark reports into markdown"
+    )
+    report.add_argument("--results-dir", default="benchmarks/results")
+    report.add_argument("--output", default=None)
+
+    reproduce = sub.add_parser("reproduce", help="regenerate paper results")
+    reproduce.add_argument(
+        "--figure", default="all",
+        choices=("all", "fig7", "table2", "fig8", "fig9", "fig10",
+                 "fig11", "fig12", "fig13"),
+    )
+    reproduce.add_argument("--quick", action="store_true")
+    return parser
+
+
+_HANDLERS = {
+    "datasets": _cmd_datasets,
+    "report": _cmd_report,
+    "train": _cmd_train,
+    "federate": _cmd_federate,
+    "reproduce": _cmd_reproduce,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,136 @@
+"""Hypervector compression via position-hypervector binding (Sec. IV-C).
+
+To ship ``m`` query hypervectors up the hierarchy in one message,
+EdgeHD binds each with a random bipolar *position* hypervector and sums:
+
+    H = P_1 * H_1 + P_2 * H_2 + ... + P_m * H_m          (Eq. 3)
+
+Because random bipolar hypervectors are nearly orthogonal, binding the
+compressed bundle with ``P_i`` again recovers ``H_i`` plus a noise term
+that shrinks as ``1/sqrt(D)`` per interfering vector (Eq. 4):
+
+    H (*) P_i = H_i + sum_{j != i} H_j * (P_i * P_j)
+
+The decode is approximate; compressing more hypervectors raises the
+noise floor, which the ablation bench quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hypervector import random_bipolar, sign_binarize
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_matrix
+
+__all__ = ["PositionCodebook", "CompressedBatch", "compressed_bundle_bytes"]
+
+
+def compressed_bundle_bytes(dimension: int, count: int) -> int:
+    """Wire size of one compressed bundle of ``count`` hypervectors.
+
+    Each element is an integer in ``[-count, count]`` (a sum of
+    ``count`` bipolar values), so it packs into
+    ``ceil(log2(2*count + 1))`` bits — e.g. 6 bits for the paper's
+    m = 25, a ~5x saving over naive 32-bit elements.
+    """
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    bits_per_element = int(np.ceil(np.log2(2 * count + 1)))
+    return (dimension * bits_per_element + 7) // 8
+
+
+@dataclass
+class CompressedBatch:
+    """A compressed bundle plus the metadata needed to decode it."""
+
+    bundle: np.ndarray
+    count: int
+
+    @property
+    def dimension(self) -> int:
+        return int(self.bundle.shape[-1])
+
+    def wire_elements(self) -> int:
+        """Number of scalar elements actually transmitted."""
+        return self.bundle.size
+
+
+class PositionCodebook:
+    """Fixed codebook of random bipolar position hypervectors.
+
+    Sender and receiver construct the codebook from the same seed, so
+    only the compressed bundle travels over the network.
+    """
+
+    def __init__(self, dimension: int, capacity: int, seed: SeedLike = None) -> None:
+        if dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {dimension}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.dimension = int(dimension)
+        self.capacity = int(capacity)
+        self.positions = random_bipolar(dimension, capacity, seed, tag="positions")
+
+    def compress(self, hypervectors: np.ndarray) -> CompressedBatch:
+        """Compress up to ``capacity`` hypervectors into one bundle."""
+        mat = check_matrix("hypervectors", hypervectors, cols=self.dimension)
+        count = mat.shape[0]
+        if count == 0:
+            raise ValueError("cannot compress an empty batch")
+        if count > self.capacity:
+            raise ValueError(
+                f"batch of {count} exceeds codebook capacity {self.capacity}"
+            )
+        bound = mat * self.positions[:count].astype(np.float64)
+        return CompressedBatch(bundle=bound.sum(axis=0), count=count)
+
+    def compress_stream(self, hypervectors: np.ndarray) -> list[CompressedBatch]:
+        """Split an arbitrarily long stack into capacity-sized bundles."""
+        mat = check_matrix("hypervectors", hypervectors, cols=self.dimension)
+        return [
+            self.compress(mat[start : start + self.capacity])
+            for start in range(0, mat.shape[0], self.capacity)
+        ]
+
+    def decompress(self, batch: CompressedBatch, binarize: bool = True) -> np.ndarray:
+        """Recover the ``batch.count`` hypervectors (approximately).
+
+        Binarizing the decoded vectors snaps most elements back to the
+        original bipolar values whenever the interference noise is below
+        the signal magnitude.
+        """
+        if batch.dimension != self.dimension:
+            raise ValueError(
+                f"bundle dimension {batch.dimension} != codebook {self.dimension}"
+            )
+        if not 0 < batch.count <= self.capacity:
+            raise ValueError(f"invalid batch count {batch.count}")
+        decoded = batch.bundle[None, :] * self.positions[: batch.count].astype(np.float64)
+        if binarize:
+            return sign_binarize(decoded)
+        return decoded
+
+    def decode_one(self, batch: CompressedBatch, index: int, binarize: bool = True) -> np.ndarray:
+        """Recover a single hypervector by its position index."""
+        if not 0 <= index < batch.count:
+            raise IndexError(f"index {index} out of range for count {batch.count}")
+        decoded = batch.bundle * self.positions[index].astype(np.float64)
+        if binarize:
+            return sign_binarize(decoded)
+        return decoded
+
+    def expected_noise_std(self, count: int) -> float:
+        """Predicted per-element decode-noise std for ``count`` vectors.
+
+        Each of the ``count - 1`` interfering bipolar products adds unit
+        variance per element, so the noise std is ``sqrt(count - 1)``;
+        the signal magnitude is 1. Tests verify this scaling.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        return float(np.sqrt(max(count - 1, 0)))

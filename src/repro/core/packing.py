@@ -1,0 +1,122 @@
+"""Bit-level packing of hypervectors for network transport.
+
+The cost accounting in :mod:`repro.core.model` *charges* one bit per
+bipolar element; this module actually produces those bytes, so the
+protocol layer (:mod:`repro.network.protocol`) can ship real payloads
+through the simulator and failure injection can corrupt real data.
+
+Three wire formats:
+
+* **bipolar** — {-1, +1} elements, 1 bit each (+1 -> 1, -1 -> 0);
+* **narrow integers** — elements in ``[-cap, cap]``, packed at
+  ``ceil(log2(2 * cap + 1))`` bits via offset binary (used for
+  compressed query bundles, Sec. IV-C);
+* **float32** — class-hypervector models and residuals.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "pack_bipolar",
+    "unpack_bipolar",
+    "pack_narrow_ints",
+    "unpack_narrow_ints",
+    "pack_floats",
+    "unpack_floats",
+    "bits_for_cap",
+]
+
+
+def pack_bipolar(hypervector: np.ndarray) -> bytes:
+    """Pack a {-1, +1} hypervector into one bit per element."""
+    arr = np.asarray(hypervector)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D hypervector, got shape {arr.shape}")
+    values = np.sign(arr)
+    if np.any(values == 0):
+        raise ValueError("bipolar packing requires non-zero elements")
+    bits = (values > 0).astype(np.uint8)
+    return np.packbits(bits).tobytes()
+
+
+def unpack_bipolar(payload: bytes, dimension: int) -> np.ndarray:
+    """Inverse of :func:`pack_bipolar`."""
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    expected = (dimension + 7) // 8
+    if len(payload) != expected:
+        raise ValueError(
+            f"payload has {len(payload)} bytes, expected {expected}"
+        )
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))[:dimension]
+    return np.where(bits == 1, 1, -1).astype(np.int8)
+
+
+def bits_for_cap(cap: int) -> int:
+    """Bits needed for an integer in ``[-cap, cap]`` (offset binary)."""
+    if cap < 1:
+        raise ValueError(f"cap must be >= 1, got {cap}")
+    return int(math.ceil(math.log2(2 * cap + 1)))
+
+
+def pack_narrow_ints(values: np.ndarray, cap: int) -> bytes:
+    """Pack integers in ``[-cap, cap]`` at the minimal bit width.
+
+    Used for compressed query bundles: a sum of ``m`` bipolar elements
+    lies in ``[-m, m]`` and packs at ``bits_for_cap(m)`` bits.
+    """
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D vector, got shape {arr.shape}")
+    if not np.all(arr == np.round(arr)):
+        raise ValueError("values must be integers")
+    arr = arr.astype(np.int64)
+    if arr.size and (arr.min() < -cap or arr.max() > cap):
+        raise ValueError(f"values exceed [-{cap}, {cap}]")
+    width = bits_for_cap(cap)
+    offset = (arr + cap).astype(np.uint64)
+    # Spread each value into `width` bits, little-endian within value.
+    bit_matrix = (
+        (offset[:, None] >> np.arange(width, dtype=np.uint64)[None, :]) & 1
+    ).astype(np.uint8)
+    return np.packbits(bit_matrix.reshape(-1)).tobytes()
+
+
+def unpack_narrow_ints(payload: bytes, dimension: int, cap: int) -> np.ndarray:
+    """Inverse of :func:`pack_narrow_ints`."""
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    width = bits_for_cap(cap)
+    total_bits = dimension * width
+    expected = (total_bits + 7) // 8
+    if len(payload) != expected:
+        raise ValueError(
+            f"payload has {len(payload)} bytes, expected {expected}"
+        )
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))[:total_bits]
+    bit_matrix = bits.reshape(dimension, width).astype(np.uint64)
+    offset = (bit_matrix << np.arange(width, dtype=np.uint64)[None, :]).sum(axis=1)
+    return offset.astype(np.int64) - cap
+
+
+def pack_floats(values: np.ndarray) -> bytes:
+    """Pack a real hypervector as little-endian float32."""
+    arr = np.asarray(values, dtype="<f4")
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D vector, got shape {arr.shape}")
+    return arr.tobytes()
+
+
+def unpack_floats(payload: bytes, dimension: int) -> np.ndarray:
+    """Inverse of :func:`pack_floats`."""
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    if len(payload) != dimension * 4:
+        raise ValueError(
+            f"payload has {len(payload)} bytes, expected {dimension * 4}"
+        )
+    return np.frombuffer(payload, dtype="<f4").astype(np.float64)

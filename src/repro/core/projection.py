@@ -1,0 +1,117 @@
+"""Ternary random projection for holographic hierarchical encoding.
+
+Section IV-A: a gateway concatenates the hypervectors received from its
+children and multiplies the concatenation by a random matrix with
+elements drawn from {-1, 0, +1}, then binarizes with ``sign()``. The
+projection mixes every input dimension into every output dimension, so
+the result is *holographic* — losing any subset of output dimensions
+degrades all features uniformly instead of wiping out one child's
+information (the robustness experiment of Fig. 12 hinges on this).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hypervector import sign_binarize
+from repro.utils.rng import SeedLike, derive_rng
+from repro.utils.validation import check_matrix, check_probability
+
+__all__ = ["TernaryProjection", "concatenate_hypervectors"]
+
+
+def concatenate_hypervectors(parts: list[np.ndarray]) -> np.ndarray:
+    """Concatenate per-child hypervectors along the last axis.
+
+    Accepts a list of 1-D hypervectors (one query) or of 2-D stacks with
+    equal row counts (a batch per child). This is the *non-holographic*
+    aggregation used as the ablation baseline in Fig. 12.
+    """
+    if not parts:
+        raise ValueError("need at least one hypervector to concatenate")
+    arrays = [np.asarray(p) for p in parts]
+    ndims = {a.ndim for a in arrays}
+    if ndims == {1}:
+        return np.concatenate(arrays)
+    if ndims == {2}:
+        rows = {a.shape[0] for a in arrays}
+        if len(rows) != 1:
+            raise ValueError(f"children sent unequal batch sizes: {sorted(rows)}")
+        return np.concatenate(arrays, axis=1)
+    raise ValueError("all parts must be 1-D, or all 2-D with equal rows")
+
+
+class TernaryProjection:
+    """Random {-1, 0, +1} projection with ``sign()`` binarization.
+
+    Parameters
+    ----------
+    in_dimension, out_dimension:
+        Input (concatenated) and output dimensionalities. In the paper
+        the projection is square (output keeps ``d_1 + d_2``), but a
+        rectangular projection is allowed so parents can re-target any
+        dimensionality.
+    zero_fraction:
+        Probability of a zero entry; the remaining mass splits evenly
+        between -1 and +1. Sparse projections are cheaper on the FPGA.
+    seed:
+        Deterministic basis seed — all replicas of a gateway regenerate
+        the same matrix offline.
+    """
+
+    def __init__(
+        self,
+        in_dimension: int,
+        out_dimension: int,
+        zero_fraction: float = 1.0 / 3.0,
+        seed: SeedLike = None,
+        binarize: bool = True,
+    ) -> None:
+        if in_dimension <= 0 or out_dimension <= 0:
+            raise ValueError(
+                f"dimensions must be positive, got {in_dimension}, {out_dimension}"
+            )
+        check_probability("zero_fraction", zero_fraction)
+        if zero_fraction >= 1.0:
+            raise ValueError("zero_fraction must be < 1 (matrix would be all-zero)")
+        self.in_dimension = int(in_dimension)
+        self.out_dimension = int(out_dimension)
+        self.zero_fraction = float(zero_fraction)
+        self.binarize = bool(binarize)
+        rng = derive_rng(seed, "ternary-projection")
+        nonzero = (1.0 - zero_fraction) / 2.0
+        self.matrix = rng.choice(
+            np.array([-1, 0, 1], dtype=np.int8),
+            size=(out_dimension, in_dimension),
+            p=[nonzero, zero_fraction, nonzero],
+        )
+        # Variance-preserving scale: each output element sums
+        # ~in_dim * (1 - zero_fraction) random +/-1 contributions, so
+        # dividing by sqrt of that keeps the element variance of the
+        # input. Without it, projected values drown any un-projected
+        # sibling hypervector they are later concatenated with.
+        self._scale = 1.0 / np.sqrt(in_dimension * (1.0 - zero_fraction))
+
+    def project(self, hypervectors: np.ndarray) -> np.ndarray:
+        """Project (a batch of) concatenated hypervectors.
+
+        Returns bipolar int8 when ``binarize`` is set, otherwise the
+        variance-preserving real projection. 1-D input yields 1-D
+        output.
+        """
+        arr = np.asarray(hypervectors)
+        single = arr.ndim == 1
+        mat = check_matrix("hypervectors", arr, cols=self.in_dimension)
+        projected = (mat @ self.matrix.T.astype(np.float64)) * self._scale
+        out = sign_binarize(projected) if self.binarize else projected
+        return out[0] if single else out
+
+    def multiplies_per_vector(self) -> int:
+        """Non-zero multiply-accumulates per projected hypervector."""
+        return int(np.count_nonzero(self.matrix))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TernaryProjection({self.in_dimension}->{self.out_dimension}, "
+            f"zero_fraction={self.zero_fraction:.2f})"
+        )

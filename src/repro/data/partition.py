@@ -1,0 +1,110 @@
+"""Feature partitioning across end nodes.
+
+In the paper's smart-home setting every end device owns a different set
+of sensors, i.e. a different *feature subset* of the global feature
+vector (heterogeneous features, challenge (i) in the introduction).
+This module splits the ``n`` global features into per-node slices and
+records which node owns which columns — the contract between the data
+layer and :mod:`repro.hierarchy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, derive_rng
+
+__all__ = ["FeaturePartition", "partition_features"]
+
+
+@dataclass(frozen=True)
+class FeaturePartition:
+    """Assignment of global feature columns to end nodes."""
+
+    slices: tuple[tuple[int, ...], ...]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.slices)
+
+    @property
+    def n_features(self) -> int:
+        return sum(len(s) for s in self.slices)
+
+    def columns(self, node_index: int) -> np.ndarray:
+        """Feature columns owned by end node ``node_index``."""
+        if not 0 <= node_index < self.n_nodes:
+            raise IndexError(f"node_index {node_index} out of range")
+        return np.asarray(self.slices[node_index], dtype=np.int64)
+
+    def feature_counts(self) -> list[int]:
+        """Per-node feature counts ``n_i`` (drives dimension allocation)."""
+        return [len(s) for s in self.slices]
+
+    def restrict(self, features: np.ndarray, node_index: int) -> np.ndarray:
+        """View of ``features`` keeping only this node's columns."""
+        mat = np.asarray(features)
+        if mat.ndim == 1:
+            return mat[self.columns(node_index)]
+        return mat[:, self.columns(node_index)]
+
+    def validate(self) -> None:
+        """Check the slices form a disjoint cover of [0, n_features)."""
+        seen: set[int] = set()
+        for s in self.slices:
+            if not s:
+                raise ValueError("empty feature slice")
+            overlap = seen.intersection(s)
+            if overlap:
+                raise ValueError(f"feature columns assigned twice: {sorted(overlap)}")
+            seen.update(s)
+        if seen != set(range(self.n_features)):
+            raise ValueError("slices do not cover the feature range contiguously")
+
+
+def partition_features(
+    n_features: int,
+    n_nodes: int,
+    balanced: bool = True,
+    shuffle: bool = False,
+    seed: SeedLike = None,
+) -> FeaturePartition:
+    """Split ``n_features`` columns across ``n_nodes`` end nodes.
+
+    ``balanced`` gives near-equal slice sizes (remainder spread over the
+    first nodes); with ``balanced=False`` slice sizes are drawn randomly
+    (each node still gets at least one feature), modelling devices with
+    very different sensor counts. ``shuffle`` randomizes which columns
+    go where instead of contiguous runs.
+    """
+    if n_features <= 0:
+        raise ValueError(f"n_features must be positive, got {n_features}")
+    if n_nodes <= 0:
+        raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+    if n_nodes > n_features:
+        raise ValueError(
+            f"cannot split {n_features} features over {n_nodes} nodes"
+        )
+    rng = derive_rng(seed, "partition")
+    columns = np.arange(n_features)
+    if shuffle:
+        columns = rng.permutation(n_features)
+    if balanced:
+        sizes = np.full(n_nodes, n_features // n_nodes, dtype=np.int64)
+        sizes[: n_features % n_nodes] += 1
+    else:
+        # Random composition: n_nodes positive integers summing to n_features.
+        cuts = np.sort(
+            rng.choice(np.arange(1, n_features), size=n_nodes - 1, replace=False)
+        )
+        bounds = np.concatenate([[0], cuts, [n_features]])
+        sizes = np.diff(bounds)
+    slices: list[tuple[int, ...]] = []
+    start = 0
+    for size in sizes:
+        slices.append(tuple(int(c) for c in columns[start : start + size]))
+        start += size
+    partition = FeaturePartition(slices=tuple(slices))
+    return partition

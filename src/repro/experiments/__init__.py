@@ -1,0 +1,108 @@
+"""Experiment modules regenerating every table and figure of the paper.
+
+| Paper result | run | format |
+|---|---|---|
+| Fig. 7 (accuracy comparison) | :func:`run_figure7` | :func:`format_figure7` |
+| Table II (hierarchy levels) | :func:`run_table2` | :func:`format_table2` |
+| Fig. 8 (PECAN online) | :func:`run_figure8` | :func:`format_figure8` |
+| Fig. 9 (online steps) | :func:`run_figure9` | :func:`format_figure9` |
+| Fig. 10 (time & energy) | :func:`run_figure10` | :func:`format_figure10` |
+| Fig. 11 (bandwidth) | :func:`run_figure11` | :func:`format_figure11` |
+| Fig. 12 (robustness) | :func:`run_figure12` | :func:`format_figure12` |
+| Fig. 13 (hierarchy depth) | :func:`run_figure13` | :func:`format_figure13` |
+| Ablations (Sec. VI-A knobs) | ``run_*_ablation`` | :func:`format_ablation` |
+"""
+
+from repro.experiments.ablation import (
+    format_ablation,
+    run_batch_size_ablation,
+    run_compression_ablation,
+    run_dimension_ablation,
+    run_encoder_ablation,
+    run_sparsity_ablation,
+    run_threshold_ablation,
+)
+from repro.experiments.accuracy import (
+    Figure7Result,
+    Table2Result,
+    format_figure7,
+    format_table2,
+    run_figure7,
+    run_table2,
+)
+from repro.experiments.bandwidth import (
+    BandwidthResult,
+    format_figure11,
+    run_figure11,
+)
+from repro.experiments.depth import DepthResult, format_figure13, run_figure13
+from repro.experiments.efficiency import (
+    CONFIGS,
+    EfficiencyResult,
+    format_figure10,
+    run_figure10,
+    system_inference_cost,
+    system_training_cost,
+)
+from repro.experiments.harness import QUICK, STANDARD, ExperimentScale, default_config
+from repro.experiments.online import (
+    Figure8Result,
+    Figure9Result,
+    format_figure8,
+    format_figure9,
+    run_figure8,
+    run_figure9,
+)
+from repro.experiments.report import collect_reports, render_markdown
+from repro.experiments.scaling import ScalingResult, format_scaling, run_scaling
+from repro.experiments.robustness import (
+    RobustnessResult,
+    format_figure12,
+    run_figure12,
+)
+
+__all__ = [
+    "format_ablation",
+    "run_batch_size_ablation",
+    "run_compression_ablation",
+    "run_dimension_ablation",
+    "run_encoder_ablation",
+    "run_sparsity_ablation",
+    "run_threshold_ablation",
+    "Figure7Result",
+    "Table2Result",
+    "format_figure7",
+    "format_table2",
+    "run_figure7",
+    "run_table2",
+    "BandwidthResult",
+    "format_figure11",
+    "run_figure11",
+    "DepthResult",
+    "format_figure13",
+    "run_figure13",
+    "CONFIGS",
+    "EfficiencyResult",
+    "format_figure10",
+    "run_figure10",
+    "system_inference_cost",
+    "system_training_cost",
+    "QUICK",
+    "STANDARD",
+    "ExperimentScale",
+    "default_config",
+    "Figure8Result",
+    "Figure9Result",
+    "format_figure8",
+    "format_figure9",
+    "run_figure8",
+    "run_figure9",
+    "collect_reports",
+    "render_markdown",
+    "ScalingResult",
+    "format_scaling",
+    "run_scaling",
+    "RobustnessResult",
+    "format_figure12",
+    "run_figure12",
+]

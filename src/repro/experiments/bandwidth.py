@@ -1,0 +1,119 @@
+"""Fig. 11: impact of network bandwidth on hierarchical inference.
+
+For each of the five media, the inference task is pinned to hierarchy
+level 1, 2 or 3 and its end-to-end time compared against centralized
+HD-FPGA inference over the same medium. The paper's claims:
+
+* lower bandwidth -> larger EdgeHD speedup (3.8x at 802.11ac up to
+  9.2x at Bluetooth 4.0, averaged over levels);
+* inferring at a lower level is faster than at the top (e.g. Level-2
+  is 2.4x / 1.8x faster than Level-3 on 802.11n / 1 Gbps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.experiments.efficiency import (
+    system_inference_cost,
+)
+from repro.network.medium import MEDIA
+from repro.utils.tables import format_table
+
+__all__ = ["BandwidthResult", "run_figure11", "format_figure11"]
+
+MEDIA_ORDER = (
+    "wired-1gbps",
+    "wired-500mbps",
+    "wifi-802.11ac",
+    "wifi-802.11n",
+    "bluetooth-4.0",
+)
+
+
+def _level_frequency_for(level: int, depth: int = 3) -> Dict[int, float]:
+    """All queries decided exactly at ``level``."""
+    return {l: (1.0 if l == level else 0.0) for l in range(1, depth + 1)}
+
+
+@dataclass
+class BandwidthResult:
+    """speedup[(medium, level)] of EdgeHD inference over HD-FPGA."""
+
+    speedup: Dict[tuple, float] = field(default_factory=dict)
+    media: Sequence[str] = MEDIA_ORDER
+    levels: Sequence[int] = (1, 2, 3)
+
+    def mean_speedup(self, medium: str) -> float:
+        values = [self.speedup[(medium, l)] for l in self.levels]
+        return float(np.exp(np.mean(np.log(values))))
+
+    def level_ratio(self, medium: str, faster: int, slower: int) -> float:
+        """How much faster level-``faster`` inference is vs ``slower``."""
+        return self.speedup[(medium, faster)] / self.speedup[(medium, slower)]
+
+
+def run_figure11(
+    datasets: Sequence[str] = ("PAMAP2", "APRI", "PDP"),
+    media: Sequence[str] = MEDIA_ORDER,
+    levels: Sequence[int] = (1, 2, 3),
+) -> BandwidthResult:
+    """Sweep media x inference levels; baseline is HD-FPGA centralized."""
+    for m in media:
+        if m not in MEDIA:
+            raise KeyError(f"unknown medium {m!r}")
+    result = BandwidthResult(media=tuple(media), levels=tuple(levels))
+    for medium in media:
+        base_times = {
+            ds: system_inference_cost("hd-fpga", ds, medium=medium).total_time_s
+            for ds in datasets
+        }
+        for level in levels:
+            freq = _level_frequency_for(level)
+            ratios = []
+            for ds in datasets:
+                ours = system_inference_cost(
+                    "edgehd", ds, medium=medium, level_frequency=freq
+                ).total_time_s
+                ratios.append(base_times[ds] / ours)
+            result.speedup[(medium, level)] = float(
+                np.exp(np.mean(np.log(ratios)))
+            )
+    return result
+
+
+def format_figure11(result: BandwidthResult) -> str:
+    rows: List[List[object]] = []
+    for medium in result.media:
+        rows.append(
+            [medium]
+            + [result.speedup[(medium, l)] for l in result.levels]
+            + [result.mean_speedup(medium)]
+        )
+    table = format_table(
+        ["Medium"] + [f"Level-{l}" for l in result.levels] + ["Mean"],
+        rows,
+        title="Fig. 11 — EdgeHD inference speedup over centralized HD-FPGA",
+        ndigits=2,
+    )
+    lines = [table, ""]
+    ac = result.mean_speedup("wifi-802.11ac") if "wifi-802.11ac" in result.media else None
+    bt = result.mean_speedup("bluetooth-4.0") if "bluetooth-4.0" in result.media else None
+    if ac is not None:
+        lines.append(f"802.11ac mean speedup: {ac:.1f}x (paper: 3.8x)")
+    if bt is not None:
+        lines.append(f"Bluetooth-4.0 mean speedup: {bt:.1f}x (paper: 9.2x)")
+    if "wifi-802.11n" in result.media and 2 in result.levels and 3 in result.levels:
+        lines.append(
+            f"Level-2 vs Level-3 on 802.11n: "
+            f"{result.level_ratio('wifi-802.11n', 2, 3):.1f}x faster (paper: 2.4x)"
+        )
+    if "wired-1gbps" in result.media and 2 in result.levels and 3 in result.levels:
+        lines.append(
+            f"Level-2 vs Level-3 on 1 Gbps: "
+            f"{result.level_ratio('wired-1gbps', 2, 3):.1f}x faster (paper: 1.8x)"
+        )
+    return "\n".join(lines)

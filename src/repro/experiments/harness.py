@@ -1,0 +1,66 @@
+"""Shared experiment infrastructure.
+
+Each ``repro.experiments`` module regenerates one table or figure of the
+paper. They all follow the same pattern: a ``run_*`` function returns a
+typed result object, and a ``format_*`` helper renders the same
+rows/series the paper reports as ASCII. The :class:`ExperimentScale`
+knob shrinks sample counts so everything runs on a laptop — the paper's
+*shapes* (who wins, rough factors, crossovers) are preserved, absolute
+sample counts are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DEFAULT_CONFIG, EdgeHDConfig
+
+__all__ = ["ExperimentScale", "QUICK", "STANDARD", "default_config"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sizing knobs for experiment runs."""
+
+    name: str
+    data_scale: float
+    max_train: int
+    max_test: int
+    dimension: int
+    retrain_epochs: int
+    batch_size: int
+
+    def __post_init__(self) -> None:
+        if self.data_scale <= 0:
+            raise ValueError("data_scale must be positive")
+        if min(self.max_train, self.max_test, self.dimension) <= 0:
+            raise ValueError("sizes must be positive")
+        if self.retrain_epochs < 0 or self.batch_size < 1:
+            raise ValueError("invalid training knobs")
+
+
+#: Fast sanity scale used by the test suite.
+QUICK = ExperimentScale(
+    name="quick", data_scale=0.05, max_train=800, max_test=300,
+    dimension=1024, retrain_epochs=5, batch_size=10,
+)
+
+#: The benchmark scale: large enough for the paper's trends to be
+#: clearly visible, small enough for a laptop.
+STANDARD = ExperimentScale(
+    name="standard", data_scale=0.2, max_train=2500, max_test=800,
+    dimension=4000, retrain_epochs=15, batch_size=10,
+)
+
+
+def default_config(scale: ExperimentScale, seed: int = 7, **overrides) -> EdgeHDConfig:
+    """EdgeHD config matching an experiment scale."""
+    base = DEFAULT_CONFIG.with_overrides(
+        dimension=scale.dimension,
+        retrain_epochs=scale.retrain_epochs,
+        batch_size=scale.batch_size,
+        seed=seed,
+    )
+    if overrides:
+        base = base.with_overrides(**overrides)
+    return base

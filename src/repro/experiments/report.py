@@ -1,0 +1,94 @@
+"""Aggregate saved benchmark reports into a single markdown document.
+
+``pytest benchmarks/`` writes one plain-text report per paper
+table/figure under ``benchmarks/results/``; this module stitches them
+into a markdown summary (the data backbone of EXPERIMENTS.md), so the
+paper-vs-measured record regenerates mechanically from a bench run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ReportSection", "REPORT_ORDER", "collect_reports", "render_markdown"]
+
+
+@dataclass(frozen=True)
+class ReportSection:
+    """One regenerated result with its provenance."""
+
+    key: str
+    title: str
+    body: str
+
+
+#: Display order and titles for the known report files.
+REPORT_ORDER: Sequence[tuple] = (
+    ("fig7_accuracy", "Fig. 7 — Classification accuracy comparison"),
+    ("table2_hierarchy_accuracy", "Table II — Accuracy in hierarchy levels"),
+    ("fig8_pecan_online", "Fig. 8 — PECAN online learning"),
+    ("fig9_online_steps", "Fig. 9 — Online accuracy across steps"),
+    ("fig10_efficiency", "Fig. 10 — Execution time and energy"),
+    ("fig11_bandwidth", "Fig. 11 — Impact of network bandwidth"),
+    ("fig12_robustness", "Fig. 12 — Robustness to failure"),
+    ("fig13_depth", "Fig. 13 — Impact of hierarchy depth"),
+    ("ablation_encoder", "Ablation — encoder family"),
+    ("ablation_batch_size", "Ablation — retraining batch size B"),
+    ("ablation_compression", "Ablation — compression count m"),
+    ("ablation_sparsity", "Ablation — encoder sparsity s"),
+    ("ablation_threshold", "Ablation — confidence threshold"),
+    ("ablation_dimension", "Ablation — dimensionality D"),
+)
+
+
+def collect_reports(results_dir: Path) -> List[ReportSection]:
+    """Load every known report file present in ``results_dir``.
+
+    Unknown ``.txt`` files are appended after the known ones so nothing
+    silently disappears.
+    """
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"no results directory at {results_dir}")
+    sections: List[ReportSection] = []
+    known = {key for key, _ in REPORT_ORDER}
+    titles: Dict[str, str] = dict(REPORT_ORDER)
+    for key, title in REPORT_ORDER:
+        path = results_dir / f"{key}.txt"
+        if path.exists():
+            sections.append(
+                ReportSection(key=key, title=title, body=path.read_text().strip())
+            )
+    for path in sorted(results_dir.glob("*.txt")):
+        if path.stem not in known:
+            sections.append(
+                ReportSection(
+                    key=path.stem,
+                    title=path.stem.replace("_", " "),
+                    body=path.read_text().strip(),
+                )
+            )
+    return sections
+
+
+def render_markdown(
+    sections: Sequence[ReportSection],
+    heading: str = "Measured results",
+    preamble: Optional[str] = None,
+) -> str:
+    """Render the sections as a markdown document."""
+    out: List[str] = [f"# {heading}", ""]
+    if preamble:
+        out.extend([preamble.strip(), ""])
+    if not sections:
+        out.append("_No benchmark reports found — run `pytest benchmarks/`._")
+    for section in sections:
+        out.append(f"## {section.title}")
+        out.append("")
+        out.append("```text")
+        out.append(section.body)
+        out.append("```")
+        out.append("")
+    return "\n".join(out).rstrip() + "\n"

@@ -1,0 +1,47 @@
+"""Hardware cost models: op counting, platform rooflines, FPGA design."""
+
+from repro.hardware.energy import CostBreakdown
+from repro.hardware.fpga import KC705, FPGADesign, FPGAResources
+from repro.hardware.ops import (
+    OpCounts,
+    compression_ops,
+    dnn_inference_ops,
+    dnn_training_ops,
+    encoding_ops,
+    hd_inference_ops,
+    hd_initial_training_ops,
+    hd_retrain_ops,
+    projection_ops,
+)
+from repro.hardware.platforms import (
+    FPGA_KINTEX7_CENTRAL,
+    FPGA_NODE,
+    GPU_GTX1080TI,
+    PLATFORMS,
+    RASPBERRY_PI_3B,
+    SERVER_CPU,
+    Platform,
+)
+
+__all__ = [
+    "CostBreakdown",
+    "KC705",
+    "FPGADesign",
+    "FPGAResources",
+    "OpCounts",
+    "compression_ops",
+    "dnn_inference_ops",
+    "dnn_training_ops",
+    "encoding_ops",
+    "hd_inference_ops",
+    "hd_initial_training_ops",
+    "hd_retrain_ops",
+    "projection_ops",
+    "FPGA_KINTEX7_CENTRAL",
+    "FPGA_NODE",
+    "GPU_GTX1080TI",
+    "PLATFORMS",
+    "RASPBERRY_PI_3B",
+    "SERVER_CPU",
+    "Platform",
+]

@@ -1,0 +1,76 @@
+"""Combined compute + communication cost accounting.
+
+The efficiency experiments report execution time and energy that mix
+(a) per-node compute, charged by a platform model or FPGA design, and
+(b) network transfers, charged by the event simulator. This module
+defines the combined record and helpers to merge the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.simulator import SimulationResult
+
+__all__ = ["CostBreakdown"]
+
+
+@dataclass
+class CostBreakdown:
+    """Time/energy split into compute and communication components."""
+
+    compute_time_s: float = 0.0
+    compute_energy_j: float = 0.0
+    comm_time_s: float = 0.0
+    comm_energy_j: float = 0.0
+    comm_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if min(
+            self.compute_time_s,
+            self.compute_energy_j,
+            self.comm_time_s,
+            self.comm_energy_j,
+        ) < 0 or self.comm_bytes < 0:
+            raise ValueError("cost components must be >= 0")
+
+    @property
+    def total_time_s(self) -> float:
+        return self.compute_time_s + self.comm_time_s
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.compute_energy_j + self.comm_energy_j
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of total time spent communicating."""
+        total = self.total_time_s
+        if total == 0:
+            return 0.0
+        return self.comm_time_s / total
+
+    def add_compute(self, time_s: float, energy_j: float) -> "CostBreakdown":
+        if time_s < 0 or energy_j < 0:
+            raise ValueError("compute costs must be >= 0")
+        self.compute_time_s += time_s
+        self.compute_energy_j += energy_j
+        return self
+
+    def add_simulation(self, result: SimulationResult) -> "CostBreakdown":
+        self.comm_time_s += result.makespan_s
+        self.comm_energy_j += result.energy_j
+        self.comm_bytes += result.total_bytes
+        return self
+
+    def speedup_over(self, baseline: "CostBreakdown") -> float:
+        """Baseline time / our time (paper's speedup convention)."""
+        if self.total_time_s == 0:
+            raise ZeroDivisionError("cannot compute speedup with zero time")
+        return baseline.total_time_s / self.total_time_s
+
+    def energy_efficiency_over(self, baseline: "CostBreakdown") -> float:
+        """Baseline energy / our energy."""
+        if self.total_energy_j == 0:
+            raise ZeroDivisionError("cannot compute efficiency with zero energy")
+        return baseline.total_energy_j / self.total_energy_j

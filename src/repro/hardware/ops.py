@@ -1,0 +1,193 @@
+"""Operation counting for the learning workloads.
+
+The efficiency experiments (Figs. 10, 11, 13) need execution time and
+energy for each algorithm on each platform. Rather than inventing
+numbers, we count the arithmetic a workload actually performs —
+multiply-accumulates, additions/comparisons, non-linear function
+evaluations, and bytes moved — and let a
+:class:`~repro.hardware.platforms.Platform` convert counts into
+seconds and Joules. The counts below follow the algorithm descriptions
+in Sections III-V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "OpCounts",
+    "encoding_ops",
+    "hd_initial_training_ops",
+    "hd_retrain_ops",
+    "hd_inference_ops",
+    "projection_ops",
+    "compression_ops",
+    "dnn_training_ops",
+    "dnn_inference_ops",
+]
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Arithmetic volume of a workload."""
+
+    macs: float = 0.0
+    adds: float = 0.0
+    nonlinear: float = 0.0
+    memory_bytes: float = 0.0
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            macs=self.macs + other.macs,
+            adds=self.adds + other.adds,
+            nonlinear=self.nonlinear + other.nonlinear,
+            memory_bytes=self.memory_bytes + other.memory_bytes,
+        )
+
+    def scale(self, factor: float) -> "OpCounts":
+        if factor < 0:
+            raise ValueError("factor must be >= 0")
+        return OpCounts(
+            macs=self.macs * factor,
+            adds=self.adds * factor,
+            nonlinear=self.nonlinear * factor,
+            memory_bytes=self.memory_bytes * factor,
+        )
+
+    @property
+    def total_ops(self) -> float:
+        return self.macs + self.adds + self.nonlinear
+
+
+def _check_positive(**kwargs: float) -> None:
+    for name, value in kwargs.items():
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+def encoding_ops(
+    n_samples: int, n_features: int, dimension: int, sparsity: float = 0.0
+) -> OpCounts:
+    """RBF encoding: one sparse dot product + cos per output element.
+
+    Sparsity keeps only a ``(1 - s)`` fraction of each weight row
+    (Sec. V-A), cutting the multiplies proportionally.
+    """
+    _check_positive(n_samples=n_samples, n_features=n_features, dimension=dimension)
+    if not 0.0 <= sparsity < 1.0 and sparsity != 0.0:
+        if not 0.0 <= sparsity <= 1.0:
+            raise ValueError(f"sparsity must be in [0, 1], got {sparsity}")
+    effective = max(1.0, (1.0 - sparsity) * n_features)
+    per_element = effective  # MACs of the dot product
+    return OpCounts(
+        macs=n_samples * dimension * per_element,
+        nonlinear=n_samples * dimension,  # cosine LUT lookups
+        memory_bytes=n_samples * (n_features * 4 + dimension / 8),
+    )
+
+
+def hd_initial_training_ops(n_samples: int, dimension: int) -> OpCounts:
+    """Bundling all encoded samples into class hypervectors (adds only)."""
+    _check_positive(n_samples=n_samples, dimension=dimension)
+    return OpCounts(
+        adds=n_samples * dimension,
+        memory_bytes=n_samples * dimension / 8,
+    )
+
+
+def hd_retrain_ops(
+    n_samples: int, dimension: int, n_classes: int, epochs: int,
+    misclassification_rate: float = 0.25,
+) -> OpCounts:
+    """Retraining: per epoch, a similarity search per sample plus an
+    add/subtract update for the misclassified fraction."""
+    _check_positive(
+        n_samples=n_samples, dimension=dimension, n_classes=n_classes, epochs=epochs
+    )
+    if not 0.0 <= misclassification_rate <= 1.0:
+        raise ValueError("misclassification_rate must be in [0, 1]")
+    search = n_samples * n_classes * dimension  # binary dot = adds (Sec. V-B)
+    update = 2 * misclassification_rate * n_samples * dimension
+    return OpCounts(
+        adds=epochs * (search + update),
+        memory_bytes=epochs * n_samples * dimension / 8,
+    )
+
+
+def hd_inference_ops(n_queries: int, dimension: int, n_classes: int) -> OpCounts:
+    """Associative search with binary queries: adds only (Sec. V-B)."""
+    _check_positive(n_queries=n_queries, dimension=dimension, n_classes=n_classes)
+    return OpCounts(
+        adds=n_queries * n_classes * dimension,
+        memory_bytes=n_queries * n_classes * dimension / 8,
+    )
+
+
+def projection_ops(
+    n_vectors: int, in_dimension: int, out_dimension: int, density: float = 2.0 / 3.0
+) -> OpCounts:
+    """Ternary projection: only the non-zero entries cost an add."""
+    _check_positive(
+        n_vectors=n_vectors, in_dimension=in_dimension, out_dimension=out_dimension
+    )
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    return OpCounts(
+        adds=n_vectors * in_dimension * out_dimension * density,
+        memory_bytes=n_vectors * in_dimension / 8,
+    )
+
+
+def compression_ops(n_vectors: int, dimension: int) -> OpCounts:
+    """Position binding + bundling of ``n_vectors`` hypervectors (Eq. 3)."""
+    _check_positive(n_vectors=n_vectors, dimension=dimension)
+    return OpCounts(
+        macs=n_vectors * dimension,  # bipolar bind is a multiply
+        adds=n_vectors * dimension,
+        memory_bytes=n_vectors * dimension / 8,
+    )
+
+
+def _mlp_params(n_features: int, layer_sizes: Sequence[int], n_classes: int) -> float:
+    sizes = [n_features, *layer_sizes, n_classes]
+    return float(
+        sum(a * b + b for a, b in zip(sizes[:-1], sizes[1:]))
+    )
+
+
+def dnn_training_ops(
+    n_samples: int,
+    n_features: int,
+    layer_sizes: Sequence[int],
+    n_classes: int,
+    epochs: int,
+) -> OpCounts:
+    """MLP training: forward + backward + update ~= 3x forward MACs.
+
+    Forward costs one MAC per weight per sample; the conventional
+    estimate for SGD training is 3x that per epoch (backprop ~2x
+    forward), i.e. ``3 * params * samples * epochs`` MACs.
+    """
+    _check_positive(n_samples=n_samples, n_features=n_features, epochs=epochs)
+    params = _mlp_params(n_features, layer_sizes, n_classes)
+    hidden_units = float(sum(layer_sizes) + n_classes)
+    return OpCounts(
+        macs=3.0 * params * n_samples * epochs,
+        nonlinear=hidden_units * n_samples * epochs,
+        memory_bytes=4.0 * params * epochs + 4.0 * n_samples * n_features,
+    )
+
+
+def dnn_inference_ops(
+    n_queries: int, n_features: int, layer_sizes: Sequence[int], n_classes: int
+) -> OpCounts:
+    """MLP forward pass: one MAC per weight per query."""
+    _check_positive(n_queries=n_queries, n_features=n_features)
+    params = _mlp_params(n_features, layer_sizes, n_classes)
+    hidden_units = float(sum(layer_sizes) + n_classes)
+    return OpCounts(
+        macs=params * n_queries,
+        nonlinear=hidden_units * n_queries,
+        memory_bytes=4.0 * params + 4.0 * n_queries * n_features,
+    )

@@ -1,0 +1,134 @@
+"""Platform cost models: GPU, centralized FPGA, per-node FPGA, RPi, CPU.
+
+Each :class:`Platform` converts :class:`~repro.hardware.ops.OpCounts`
+into execution time and energy through a simple roofline:
+
+    time = max(compute_time, memory_time)
+    compute_time = macs/mac_rate + adds/add_rate + nonlinear/nl_rate
+    energy = time * power
+
+The throughput and power constants are calibrated against the figures
+the paper reports rather than invented: the Kintex-7 central design
+draws 9.8 W and is slower but ~3x more energy-efficient than the
+GTX 1080 Ti on HD workloads; the per-node FPGA draws 0.28 W (Sec. VI-D);
+the TPU comparison point (>=290 W) motivates the intro.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.ops import OpCounts
+
+__all__ = [
+    "Platform",
+    "GPU_GTX1080TI",
+    "FPGA_KINTEX7_CENTRAL",
+    "FPGA_NODE",
+    "RASPBERRY_PI_3B",
+    "SERVER_CPU",
+    "PLATFORMS",
+]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """Roofline-style analytic platform model."""
+
+    name: str
+    #: effective multiply-accumulate throughput (ops/s).
+    mac_rate: float
+    #: effective addition/compare throughput (ops/s).
+    add_rate: float
+    #: non-linear function (cos LUT / activation) throughput (ops/s).
+    nonlinear_rate: float
+    #: sustained memory bandwidth (bytes/s).
+    memory_bandwidth: float
+    #: active power draw (W).
+    power_w: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("mac_rate", "add_rate", "nonlinear_rate", "memory_bandwidth", "power_w"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    def execution_time(self, ops: OpCounts) -> float:
+        """Seconds to run ``ops`` on this platform (roofline max)."""
+        compute = (
+            ops.macs / self.mac_rate
+            + ops.adds / self.add_rate
+            + ops.nonlinear / self.nonlinear_rate
+        )
+        memory = ops.memory_bytes / self.memory_bandwidth
+        return max(compute, memory)
+
+    def energy(self, ops: OpCounts) -> float:
+        """Joules to run ``ops`` on this platform."""
+        return self.execution_time(ops) * self.power_w
+
+
+#: NVIDIA GTX 1080 Ti — the paper's central-server accelerator. The
+#: effective rate is far below the 11 TFLOPS peak because HD/DNN
+#: training kernels at these sizes are launch/memory bound.
+GPU_GTX1080TI = Platform(
+    name="gpu-gtx1080ti",
+    mac_rate=2.0e12,
+    add_rate=2.0e12,
+    nonlinear_rate=5.0e11,
+    memory_bandwidth=350e9,
+    power_w=250.0,
+)
+
+#: Kintex-7 KC705 running the full centralized EdgeHD design (Sec. V).
+#: Calibrated so HD work is slower than on the GPU but ~3x more
+#: energy-efficient (Sec. VI-D), at the reported 9.8 W.
+FPGA_KINTEX7_CENTRAL = Platform(
+    name="fpga-kintex7-central",
+    mac_rate=2.4e11,
+    add_rate=6.4e11,
+    nonlinear_rate=1.6e11,
+    memory_bandwidth=24e9,
+    power_w=9.8,
+)
+
+#: The small per-node EdgeHD FPGA instance: ~1/35 the central design's
+#: resources, 0.28 W (Sec. VI-D). Each hierarchy node runs one.
+FPGA_NODE = Platform(
+    name="fpga-node",
+    mac_rate=3.2e10,
+    add_rate=1.6e11,
+    nonlinear_rate=1.6e10,
+    memory_bandwidth=6.4e9,
+    power_w=0.28,
+)
+
+#: Raspberry Pi 3B+ host CPU (message handling / fallback compute).
+RASPBERRY_PI_3B = Platform(
+    name="raspberry-pi-3b+",
+    mac_rate=2.0e9,
+    add_rate=4.0e9,
+    nonlinear_rate=5.0e8,
+    memory_bandwidth=2.5e9,
+    power_w=5.0,
+)
+
+#: Intel i7-8700K server CPU (the central node host).
+SERVER_CPU = Platform(
+    name="server-cpu-i7-8700k",
+    mac_rate=1.0e11,
+    add_rate=2.0e11,
+    nonlinear_rate=2.0e10,
+    memory_bandwidth=40e9,
+    power_w=95.0,
+)
+
+PLATFORMS = {
+    p.name: p
+    for p in (
+        GPU_GTX1080TI,
+        FPGA_KINTEX7_CENTRAL,
+        FPGA_NODE,
+        RASPBERRY_PI_3B,
+        SERVER_CPU,
+    )
+}

@@ -1,0 +1,45 @@
+"""Hierarchy-level orchestration: topology, federation, inference, online."""
+
+from repro.hierarchy.checkpoint import (
+    CheckpointError,
+    load_federation,
+    save_federation,
+)
+from repro.hierarchy.deployment import DeploymentReport, SimulatedDeployment
+from repro.hierarchy.federation import (
+    EdgeHDFederation,
+    FederatedTrainingReport,
+    batch_groups,
+)
+from repro.hierarchy.inference import HierarchicalInference, InferenceOutcome
+from repro.hierarchy.online import OnlineLearner, OnlineSession, OnlineStepMetrics
+from repro.hierarchy.topology import (
+    Hierarchy,
+    Node,
+    build_deep_tree,
+    build_pecan,
+    build_star,
+    build_tree,
+)
+
+__all__ = [
+    "CheckpointError",
+    "load_federation",
+    "save_federation",
+    "DeploymentReport",
+    "SimulatedDeployment",
+    "EdgeHDFederation",
+    "FederatedTrainingReport",
+    "batch_groups",
+    "HierarchicalInference",
+    "InferenceOutcome",
+    "OnlineLearner",
+    "OnlineSession",
+    "OnlineStepMetrics",
+    "Hierarchy",
+    "Node",
+    "build_deep_tree",
+    "build_pecan",
+    "build_star",
+    "build_tree",
+]

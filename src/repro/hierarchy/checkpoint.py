@@ -1,0 +1,104 @@
+"""Checkpointing a trained federation.
+
+A deployed EdgeHD system is the set of per-node class hypervectors (the
+encoders and projections regenerate from their seeds). This module
+saves and restores that state as a single ``.npz`` file, validating on
+load that the checkpoint matches the federation's topology, dimensions
+and configuration — so a city-scale deployment can be reconstructed
+offline, shipped to new hardware, or rolled back after a bad online
+update.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.hierarchy.federation import EdgeHDFederation
+
+__all__ = ["save_federation", "load_federation", "CheckpointError"]
+
+_FORMAT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """Checkpoint file is malformed or does not match the federation."""
+
+
+def _metadata(federation: EdgeHDFederation) -> dict:
+    hierarchy = federation.hierarchy
+    return {
+        "format_version": _FORMAT_VERSION,
+        "n_classes": federation.n_classes,
+        "dimension": federation.config.dimension,
+        "encoder": federation.config.encoder,
+        "seed": federation.config.seed,
+        "holographic": federation.holographic,
+        "n_nodes": len(hierarchy.nodes),
+        "depth": hierarchy.depth,
+        "node_dimensions": {
+            str(nid): node.dimension for nid, node in hierarchy.nodes.items()
+        },
+        "feature_counts": federation.partition.feature_counts(),
+    }
+
+
+def save_federation(federation: EdgeHDFederation, path: Union[str, Path]) -> None:
+    """Persist every node's class hypervectors plus validation metadata.
+
+    Raises ``RuntimeError`` if any node is untrained — a partially
+    trained federation is not a meaningful deployment artifact.
+    """
+    arrays = {}
+    for node_id, classifier in federation.classifiers.items():
+        if classifier.class_hypervectors is None:
+            raise RuntimeError(
+                f"node {node_id} is untrained; run fit_offline() first"
+            )
+        arrays[f"node_{node_id}"] = classifier.class_hypervectors
+    arrays["meta"] = np.frombuffer(
+        json.dumps(_metadata(federation)).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(str(path), **arrays)
+
+
+def load_federation(
+    federation: EdgeHDFederation, path: Union[str, Path]
+) -> EdgeHDFederation:
+    """Install checkpointed models into a structurally identical federation.
+
+    The caller constructs the federation (same topology, partition and
+    config — the encoders/projections regenerate from the seed); this
+    function restores the learned state and verifies compatibility.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    with np.load(str(path), allow_pickle=False) as data:
+        if "meta" not in data:
+            raise CheckpointError("missing metadata block")
+        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {meta.get('format_version')}"
+            )
+        expected = _metadata(federation)
+        for key in (
+            "n_classes", "dimension", "encoder", "seed",
+            "holographic", "n_nodes", "depth",
+            "node_dimensions", "feature_counts",
+        ):
+            if meta.get(key) != expected[key]:
+                raise CheckpointError(
+                    f"checkpoint mismatch on {key!r}: "
+                    f"saved {meta.get(key)!r} vs federation {expected[key]!r}"
+                )
+        for node_id, classifier in federation.classifiers.items():
+            key = f"node_{node_id}"
+            if key not in data:
+                raise CheckpointError(f"checkpoint missing model for node {node_id}")
+            classifier.set_model(data[key])
+    return federation

@@ -1,0 +1,380 @@
+"""Hierarchical (federated) EdgeHD training — Sections IV-A and IV-B.
+
+The :class:`EdgeHDFederation` owns one learning artifact per hierarchy
+node:
+
+* **end nodes** — an encoder over the node's feature subset with
+  dimensionality ``d_i = D * n_i / n``, plus an
+  :class:`~repro.core.classifier.HDClassifier`;
+* **gateway / central nodes** — a ternary holographic projection from
+  the concatenation of the children's dimensions to the node's own
+  dimension, plus a classifier.
+
+Offline training proceeds bottom-up:
+
+1. every end node encodes its local samples, builds its initial class
+   hypervectors and retrains locally;
+2. each node ships its ``K`` class hypervectors and its *batch
+   hypervectors* (size-``B`` bundles of same-class encoded samples,
+   Sec. IV-B) to its parent;
+3. each internal node hierarchically encodes the received class
+   hypervectors into its initial model and retrains on the
+   hierarchically-encoded batch hypervectors.
+
+Because all end nodes observe the *same events* through different
+sensors (heterogeneous features), sample ``j`` on node 1 and node 2
+refer to the same observation; batches are formed over global sample
+indices so children's batch hypervectors align.
+
+Every transfer is recorded as a :class:`~repro.network.message.Message`
+so the network simulator can replay the run over any medium.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG, EdgeHDConfig
+from repro.core.classifier import HDClassifier
+from repro.core.encoding import Encoder, make_encoder
+from repro.core.hypervector import sign_binarize
+from repro.core.model import class_model_bytes, hypervector_bytes
+from repro.core.projection import TernaryProjection, concatenate_hypervectors
+from repro.data.partition import FeaturePartition
+from repro.hierarchy.topology import Hierarchy
+from repro.network.message import Message, MessageKind
+from repro.utils.rng import spawn_seeds
+from repro.utils.validation import check_labels, check_matrix
+
+__all__ = ["EdgeHDFederation", "FederatedTrainingReport", "batch_groups"]
+
+
+def batch_groups(labels: np.ndarray, batch_size: int) -> list[tuple[int, np.ndarray]]:
+    """Split sample indices into per-class batches of ``batch_size``.
+
+    Returns ``(class, indices)`` pairs covering every sample exactly
+    once; the final batch of a class may be smaller. The grouping is a
+    pure function of the labels, so every node derives identical
+    batches without coordination.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    y = np.asarray(labels)
+    groups: list[tuple[int, np.ndarray]] = []
+    for cls in np.unique(y):
+        idx = np.flatnonzero(y == cls)
+        for start in range(0, idx.size, batch_size):
+            groups.append((int(cls), idx[start : start + batch_size]))
+    return groups
+
+
+@dataclass
+class FederatedTrainingReport:
+    """Outcome of one offline federated training pass."""
+
+    messages: List[Message] = field(default_factory=list)
+    node_train_accuracy: Dict[int, float] = field(default_factory=dict)
+    n_batches: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.payload_bytes for m in self.messages)
+
+    def bytes_by_kind(self) -> Dict[MessageKind, int]:
+        out: Dict[MessageKind, int] = {}
+        for m in self.messages:
+            out[m.kind] = out.get(m.kind, 0) + m.payload_bytes
+        return out
+
+
+class EdgeHDFederation:
+    """Per-node EdgeHD artifacts plus the distributed training logic.
+
+    Parameters
+    ----------
+    hierarchy:
+        A finalized :class:`~repro.hierarchy.topology.Hierarchy`.
+    partition:
+        Feature-column assignment for the end nodes; leaf count must
+        match the hierarchy's.
+    n_classes:
+        Number of classes ``K``.
+    config:
+        EdgeHD parameters (dimension ``D``, batch size ``B``, ...).
+    holographic:
+        When False, internal nodes aggregate by plain concatenation
+        with no ternary projection — the non-holographic ablation of
+        Fig. 12.
+    """
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        partition: FeaturePartition,
+        n_classes: int,
+        config: EdgeHDConfig = DEFAULT_CONFIG,
+        holographic: bool = True,
+    ) -> None:
+        leaves = hierarchy.leaves()
+        if partition.n_nodes != len(leaves):
+            raise ValueError(
+                f"partition has {partition.n_nodes} slices for "
+                f"{len(leaves)} end nodes"
+            )
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+        self.hierarchy = hierarchy
+        self.partition = partition
+        self.n_classes = int(n_classes)
+        self.config = config
+        self.holographic = bool(holographic)
+
+        hierarchy.allocate_dimensions(config.dimension, partition.feature_counts())
+        seeds = spawn_seeds(config.seed, len(hierarchy.nodes), tag="federation")
+        self.encoders: Dict[int, Encoder] = {}
+        self.projections: Dict[int, Optional[TernaryProjection]] = {}
+        self.classifiers: Dict[int, HDClassifier] = {}
+        for order, node_id in enumerate(hierarchy.preorder()):
+            node = hierarchy.nodes[node_id]
+            node_seed = seeds[order]
+            if node.is_leaf:
+                n_local = len(partition.columns(node.leaf_index))
+                self.encoders[node_id] = make_encoder(
+                    config.encoder,
+                    n_local,
+                    node.dimension,
+                    sparsity=config.sparsity,
+                    binarize=config.binarize,
+                    seed=node_seed,
+                )
+            else:
+                in_dim = sum(hierarchy.nodes[c].dimension for c in node.children)
+                if self.holographic:
+                    zero_fraction = max(
+                        0.0, 1.0 - config.projection_nonzeros / in_dim
+                    )
+                    self.projections[node_id] = TernaryProjection(
+                        in_dim, node.dimension, zero_fraction=zero_fraction,
+                        seed=node_seed, binarize=False,
+                    )
+                else:
+                    self.projections[node_id] = None
+            self.classifiers[node_id] = HDClassifier(n_classes, node.dimension)
+
+    # ------------------------------------------------------------------
+    # hierarchical encoding (Sec. IV-A)
+    # ------------------------------------------------------------------
+    def encode_leaf(self, leaf_id: int, features: np.ndarray) -> np.ndarray:
+        """Encode global feature rows at one end node (its columns only)."""
+        node = self.hierarchy.nodes[leaf_id]
+        if not node.is_leaf:
+            raise ValueError(f"node {leaf_id} is not an end node")
+        local = self.partition.restrict(
+            check_matrix("features", features), node.leaf_index
+        )
+        return self.encoders[leaf_id].encode(local)
+
+    def combine_children(
+        self, node_id: int, child_encodings: list[np.ndarray], binarize: bool = True
+    ) -> np.ndarray:
+        """Hierarchically encode already-encoded children hypervectors."""
+        node = self.hierarchy.nodes[node_id]
+        if node.is_leaf:
+            raise ValueError(f"node {node_id} has no children to combine")
+        if len(child_encodings) != len(node.children):
+            raise ValueError(
+                f"node {node_id} expects {len(node.children)} child "
+                f"encodings, got {len(child_encodings)}"
+            )
+        concat = concatenate_hypervectors(child_encodings)
+        projection = self.projections[node_id]
+        if projection is None:
+            combined = np.asarray(concat, dtype=np.float64)
+        else:
+            combined = projection.project(concat)
+        if binarize:
+            return sign_binarize(combined)
+        return combined
+
+    def encode_all(self, features: np.ndarray, view: str = "own") -> Dict[int, np.ndarray]:
+        """Hierarchical encodings of ``features`` at *every* node.
+
+        Leaves encode their feature slice. Each internal node receives
+        its children's **forwarded** encodings — binarized hypervectors,
+        which is what actually travels over the network — concatenates
+        and projects them. The projection happens locally *after*
+        receipt, so the node's **own** view keeps the raw projection
+        values (more faithful, zero extra communication); only the copy
+        it forwards to its parent is binarized again.
+
+        ``view="own"`` (default) returns what each node classifies
+        with; ``view="forward"`` returns what each node transmits.
+        """
+        if view not in {"own", "forward"}:
+            raise ValueError(f"view must be 'own' or 'forward', got {view!r}")
+        mat = check_matrix("features", features, cols=self.partition.n_features)
+        own: Dict[int, np.ndarray] = {}
+        forward: Dict[int, np.ndarray] = {}
+        for node_id in self.hierarchy.postorder():
+            node = self.hierarchy.nodes[node_id]
+            if node.is_leaf:
+                encoded = self.encode_leaf(node_id, mat)
+                own[node_id] = encoded
+                forward[node_id] = encoded
+            else:
+                children = [forward[c] for c in node.children]
+                raw = self.combine_children(node_id, children, binarize=False)
+                own[node_id] = raw
+                forward[node_id] = (
+                    sign_binarize(raw) if self.config.binarize else raw
+                )
+        return own if view == "own" else forward
+
+    def encode_at(self, node_id: int, features: np.ndarray, view: str = "own") -> np.ndarray:
+        """Hierarchical encoding at a single node (computes its subtree)."""
+        if node_id not in self.hierarchy.nodes:
+            raise KeyError(f"unknown node {node_id}")
+        mat = check_matrix("features", features, cols=self.partition.n_features)
+        if view not in {"own", "forward"}:
+            raise ValueError(f"view must be 'own' or 'forward', got {view!r}")
+
+        def encode(nid: int) -> tuple[np.ndarray, np.ndarray]:
+            node = self.hierarchy.nodes[nid]
+            if node.is_leaf:
+                encoded = self.encode_leaf(nid, mat)
+                return encoded, encoded
+            children = [encode(c)[1] for c in node.children]
+            raw = self.combine_children(nid, children, binarize=False)
+            fwd = sign_binarize(raw) if self.config.binarize else raw
+            return raw, fwd
+
+        own, forward = encode(node_id)
+        return own if view == "own" else forward
+
+    # ------------------------------------------------------------------
+    # offline federated training (Sec. IV-B)
+    # ------------------------------------------------------------------
+    def fit_offline(
+        self,
+        train_x: np.ndarray,
+        train_y: np.ndarray,
+        retrain_epochs: Optional[int] = None,
+    ) -> FederatedTrainingReport:
+        """Run the full bottom-up training pass.
+
+        Returns a report containing per-node training accuracy and the
+        complete list of network messages the run generated.
+        """
+        mat = check_matrix("train_x", train_x, cols=self.partition.n_features)
+        y = check_labels("train_y", train_y, n_classes=self.n_classes)
+        if mat.shape[0] != y.shape[0]:
+            raise ValueError(f"{mat.shape[0]} samples but {y.shape[0]} labels")
+        epochs = self.config.retrain_epochs if retrain_epochs is None else retrain_epochs
+        report = FederatedTrainingReport()
+        groups = batch_groups(y, self.config.batch_size)
+        report.n_batches = len(groups)
+        batch_labels = np.array([cls for cls, _ in groups], dtype=np.int64)
+
+        # Per-node artifacts produced during the upward pass.
+        class_models: Dict[int, np.ndarray] = {}
+        batch_hvs: Dict[int, np.ndarray] = {}
+
+        for node_id in self.hierarchy.postorder():
+            node = self.hierarchy.nodes[node_id]
+            clf = self.classifiers[node_id]
+            if node.is_leaf:
+                encoded = self.encode_leaf(node_id, mat)
+                clf.fit_initial(encoded, y)
+                clf.retrain(
+                    encoded, y, epochs=epochs,
+                    learning_rate=self.config.retrain_learning_rate,
+                    shuffle_seed=node_id,
+                )
+                report.node_train_accuracy[node_id] = clf.accuracy(encoded, y)
+                # Batch hypervectors are binarized for transfer — one
+                # bit per dimension on the wire, exactly like query
+                # hypervectors (Sec. IV-B).
+                batches = sign_binarize(
+                    np.stack([encoded[idx].sum(axis=0) for _, idx in groups])
+                ).astype(np.float64)
+            else:
+                # Initial model: hierarchical encoding of children's
+                # class hypervectors (kept real-valued — it is a linear
+                # aggregate the retraining step refines).
+                child_models = [class_models[c] for c in node.children]
+                clf.set_model(
+                    self.combine_children(node_id, child_models, binarize=False)
+                )
+                # Retraining set: hierarchically-encoded batch hypervectors
+                # (raw projection values — local to this node).
+                child_batches = [batch_hvs[c] for c in node.children]
+                batches = self.combine_children(
+                    node_id, child_batches, binarize=False
+                ).astype(np.float64)
+                if epochs > 0 and batches.shape[0] > 0:
+                    clf.retrain(
+                        batches, batch_labels, epochs=epochs,
+                        learning_rate=self.config.retrain_learning_rate,
+                        shuffle_seed=node_id,
+                    )
+                if batches.shape[0] > 0:
+                    report.node_train_accuracy[node_id] = clf.accuracy(
+                        batches, batch_labels
+                    )
+                # Binarize before forwarding, as at the leaves.
+                batches = sign_binarize(batches).astype(np.float64)
+            class_models[node_id] = clf.class_hypervectors.copy()
+            batch_hvs[node_id] = batches
+
+            if node.parent is not None:
+                model_bytes = class_model_bytes(self.n_classes, node.dimension)
+                report.messages.append(
+                    Message(
+                        source=node_id,
+                        destination=node.parent,
+                        kind=MessageKind.CLASS_MODEL,
+                        payload_bytes=model_bytes,
+                    )
+                )
+                batch_bytes = batches.shape[0] * hypervector_bytes(
+                    node.dimension, bipolar=True
+                )
+                report.messages.append(
+                    Message(
+                        source=node_id,
+                        destination=node.parent,
+                        kind=MessageKind.BATCH_HYPERVECTORS,
+                        payload_bytes=batch_bytes,
+                        sequence=1,
+                    )
+                )
+        return report
+
+    # ------------------------------------------------------------------
+    # evaluation helpers
+    # ------------------------------------------------------------------
+    def accuracy_at(self, node_id: int, features: np.ndarray, labels: np.ndarray) -> float:
+        """Test accuracy using the model stored at ``node_id``."""
+        encoded = self.encode_at(node_id, features)
+        return self.classifiers[node_id].accuracy(encoded, labels)
+
+    def accuracy_by_level(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> Dict[int, float]:
+        """Mean test accuracy of the nodes at each hierarchy level."""
+        encodings = self.encode_all(features)
+        y = check_labels("labels", labels, n_classes=self.n_classes)
+        by_level: Dict[int, list[float]] = {}
+        for node_id, encoded in encodings.items():
+            level = self.hierarchy.nodes[node_id].level
+            acc = self.classifiers[node_id].accuracy(encoded, y)
+            by_level.setdefault(level, []).append(acc)
+        return {level: float(np.mean(accs)) for level, accs in sorted(by_level.items())}
+
+    @property
+    def root_id(self) -> int:
+        assert self.hierarchy.root_id is not None
+        return self.hierarchy.root_id

@@ -1,0 +1,248 @@
+"""Hierarchical inference with confidence-based escalation (Sec. IV-C).
+
+A query enters the system at an end node (the device the user touched).
+The node classifies locally; if the softmax confidence of the winning
+class clears the user-configurable threshold, it answers immediately —
+zero communication. Otherwise the query *escalates*: the parent gathers
+its children's encoded hypervectors, hierarchically encodes them, and
+repeats the decision with its richer model, up to the central node.
+
+Escalated query hypervectors are shipped in *compressed* bundles of
+``m`` queries bound with position hypervectors (Sec. IV-C /
+:mod:`repro.core.compression`), cutting the per-query wire cost by
+roughly ``m`` (integer bundle elements vs ``m`` bipolar vectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.compression import compressed_bundle_bytes
+from repro.hierarchy.federation import EdgeHDFederation
+from repro.network.message import Message, MessageKind
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_labels, check_matrix
+
+__all__ = ["HierarchicalInference", "InferenceOutcome"]
+
+
+@dataclass
+class InferenceOutcome:
+    """Result of running a test batch through hierarchical inference."""
+
+    labels: np.ndarray
+    #: node that produced each answer.
+    deciding_node: np.ndarray
+    #: hierarchy level of the deciding node.
+    deciding_level: np.ndarray
+    #: top-class confidence at the deciding node.
+    confidence: np.ndarray
+    #: end node where each query entered the system.
+    start_leaf: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    messages: List[Message] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.payload_bytes for m in self.messages)
+
+    def level_frequency(self, depth: int) -> Dict[int, float]:
+        """Fraction of queries answered at each level (Fig. 8c)."""
+        n = len(self.labels)
+        if n == 0:
+            raise ValueError("no inference outcomes recorded")
+        return {
+            level: float(np.mean(self.deciding_level == level))
+            for level in range(1, depth + 1)
+        }
+
+    def accuracy(self, labels: np.ndarray) -> float:
+        y = np.asarray(labels)
+        if y.shape != self.labels.shape:
+            raise ValueError("label shape mismatch")
+        return float(np.mean(self.labels == y))
+
+
+class HierarchicalInference:
+    """Escalation-based inference over a trained federation."""
+
+    def __init__(
+        self,
+        federation: EdgeHDFederation,
+        confidence_threshold: Optional[float] = None,
+        compression_count: Optional[int] = None,
+        min_level: int = 1,
+    ) -> None:
+        self.federation = federation
+        cfg = federation.config
+        self.confidence_threshold = (
+            cfg.confidence_threshold if confidence_threshold is None else confidence_threshold
+        )
+        if not 0.0 <= self.confidence_threshold <= 1.0:
+            raise ValueError("confidence_threshold must be in [0, 1]")
+        self.compression_count = (
+            cfg.compression_count if compression_count is None else compression_count
+        )
+        if self.compression_count < 1:
+            raise ValueError("compression_count must be >= 1")
+        if min_level < 1:
+            raise ValueError("min_level must be >= 1")
+        #: lowest level allowed to answer (PECAN runs classification on
+        #: house level and above — appliances only sense, Sec. VI-C).
+        self.min_level = int(min_level)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        features: np.ndarray,
+        start_leaves: Optional[np.ndarray] = None,
+        max_level: Optional[int] = None,
+        seed: int = 0,
+        encodings: Optional[Dict[int, np.ndarray]] = None,
+    ) -> InferenceOutcome:
+        """Classify a test batch with escalation.
+
+        ``start_leaves`` assigns each query an initiating end node
+        (leaf ids); by default queries are spread uniformly over the
+        leaves. ``max_level`` caps escalation (e.g. 2 = stop at the
+        gateways), used by the Fig. 11 level sweep. ``encodings`` may
+        pass precomputed ``encode_all(features)`` output to avoid
+        re-encoding.
+        """
+        hierarchy = self.federation.hierarchy
+        mat = check_matrix(
+            "features", features, cols=self.federation.partition.n_features
+        )
+        n = mat.shape[0]
+        leaves = hierarchy.leaves()
+        if start_leaves is None:
+            rng = derive_rng(seed, "start-leaves")
+            start_leaves = np.asarray(leaves)[rng.integers(0, len(leaves), size=n)]
+        else:
+            start_leaves = np.asarray(start_leaves)
+            if start_leaves.shape != (n,):
+                raise ValueError("start_leaves must have one entry per query")
+            unknown = set(start_leaves.tolist()) - set(leaves)
+            if unknown:
+                raise ValueError(f"start_leaves contains non-leaf ids {unknown}")
+        depth = hierarchy.depth
+        cap = depth if max_level is None else min(max_level, depth)
+        if cap < 1:
+            raise ValueError("max_level must be >= 1")
+        if self.min_level > cap:
+            raise ValueError(
+                f"min_level {self.min_level} exceeds the effective "
+                f"escalation cap {cap}"
+            )
+
+        # Precompute encodings and predictions at every node for the
+        # whole batch; the escalation walk then just picks rows.
+        if encodings is None:
+            encodings = self.federation.encode_all(mat)
+        predictions = {
+            node_id: self.federation.classifiers[node_id].predict(enc)
+            for node_id, enc in encodings.items()
+        }
+
+        labels = np.empty(n, dtype=np.int64)
+        deciding_node = np.empty(n, dtype=np.int64)
+        deciding_level = np.empty(n, dtype=np.int64)
+        confidence = np.empty(n, dtype=np.float64)
+        #: queries escalated over each (child -> parent) edge.
+        escalations: Dict[tuple[int, int], int] = {}
+
+        for i in range(n):
+            path = hierarchy.path_to_root(int(start_leaves[i]))
+            chosen = path[-1]
+            for node_id in path:
+                level = hierarchy.nodes[node_id].level
+                if level < self.min_level:
+                    # Below the first decision-capable level: always
+                    # escalate (costs a hop, no decision).
+                    parent = hierarchy.nodes[node_id].parent
+                    if parent is not None:
+                        edge = (node_id, parent)
+                        escalations[edge] = escalations.get(edge, 0) + 1
+                    continue
+                if level > cap:
+                    break
+                pred = predictions[node_id]
+                top_conf = float(pred.top_confidence[i])
+                chosen = node_id
+                if top_conf >= self.confidence_threshold or level == cap:
+                    break
+                parent = hierarchy.nodes[node_id].parent
+                if parent is not None:
+                    edge = (node_id, parent)
+                    escalations[edge] = escalations.get(edge, 0) + 1
+            pred = predictions[chosen]
+            labels[i] = pred.labels[i]
+            deciding_node[i] = chosen
+            deciding_level[i] = hierarchy.nodes[chosen].level
+            confidence[i] = float(pred.top_confidence[i])
+
+        messages = self._escalation_messages(escalations)
+        return InferenceOutcome(
+            labels=labels,
+            deciding_node=deciding_node,
+            deciding_level=deciding_level,
+            confidence=confidence,
+            start_leaf=np.asarray(start_leaves, dtype=np.int64),
+            messages=messages,
+        )
+
+    def _escalation_messages(
+        self, escalations: Dict[tuple[int, int], int]
+    ) -> List[Message]:
+        """Charge compressed query bundles for the escalated queries.
+
+        When a node hands a query to its parent, the parent needs the
+        hierarchically-encoded query of the *whole subtree it covers*,
+        i.e. the children ship their encodings upward. We charge the
+        parent's input dimensionality per query, divided across
+        compressed bundles of ``m`` queries with narrow packed
+        elements (see compressed_bundle_bytes).
+        """
+        messages: List[Message] = []
+        hierarchy = self.federation.hierarchy
+        m = self.compression_count
+        for (child, parent), count in sorted(escalations.items()):
+            parent_in_dim = sum(
+                hierarchy.nodes[c].dimension
+                for c in hierarchy.nodes[parent].children
+            )
+            n_bundles = (count + m - 1) // m
+            bundle_bytes = compressed_bundle_bytes(parent_in_dim, m)
+            messages.append(
+                Message(
+                    source=child,
+                    destination=parent,
+                    kind=MessageKind.COMPRESSED_QUERY,
+                    payload_bytes=n_bundles * bundle_bytes,
+                )
+            )
+            # The answer travels back down (a class index — negligible
+            # but accounted for completeness).
+            messages.append(
+                Message(
+                    source=parent,
+                    destination=child,
+                    kind=MessageKind.PREDICTION,
+                    payload_bytes=4 * count,
+                )
+            )
+        return messages
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        **kwargs,
+    ) -> tuple[float, InferenceOutcome]:
+        """Run and score in one call."""
+        y = check_labels("labels", labels, n_classes=self.federation.n_classes)
+        outcome = self.run(features, **kwargs)
+        return outcome.accuracy(y), outcome

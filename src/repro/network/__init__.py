@@ -1,0 +1,35 @@
+"""Network substrate: media models, messages, event simulator, failures."""
+
+from repro.network.failure import (
+    FailureModel,
+    drop_blocks,
+    drop_dimensions,
+    flip_dimensions,
+)
+from repro.network.medium import MEDIA, Medium, get_medium
+from repro.network.message import Message, MessageKind
+from repro.network.protocol import (
+    Frame,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from repro.network.simulator import NetworkSimulator, SimulationResult
+
+__all__ = [
+    "FailureModel",
+    "drop_blocks",
+    "Frame",
+    "ProtocolError",
+    "decode_frame",
+    "encode_frame",
+    "drop_dimensions",
+    "flip_dimensions",
+    "MEDIA",
+    "Medium",
+    "get_medium",
+    "Message",
+    "MessageKind",
+    "NetworkSimulator",
+    "SimulationResult",
+]

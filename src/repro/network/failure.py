@@ -1,0 +1,124 @@
+"""Failure injection: dimension loss and message drops (Sec. VI-F).
+
+Two failure mechanisms appear in the paper's robustness study:
+
+* **bit / dimension loss** — a fraction of hypervector elements is lost
+  in flight (unreliable links, faulty memory). :func:`drop_dimensions`
+  zeroes a random subset of dimensions; because holographic encodings
+  spread information over all dimensions, accuracy degrades gracefully
+  (Fig. 12).
+* **message drops** — whole transfers fail and must be retransmitted;
+  :class:`FailureModel` drives the simulator's retry logic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.message import Message
+from repro.utils.rng import SeedLike, derive_rng
+from repro.utils.validation import check_probability
+
+__all__ = ["FailureModel", "drop_dimensions", "flip_dimensions", "drop_blocks"]
+
+
+def drop_blocks(
+    hypervectors: np.ndarray,
+    loss_fraction: float,
+    block_size: int = 256,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Zero contiguous blocks covering ~``loss_fraction`` of each row.
+
+    Models real packet loss: a dropped packet removes a contiguous run
+    of dimensions. Against this pattern the holographic encoding's
+    advantage appears (Fig. 12) — a *projected* hypervector spreads
+    every feature over all packets, while a *concatenated* one loses
+    entire children's information with each burst.
+    """
+    check_probability("loss_fraction", loss_fraction)
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    arr = np.array(hypervectors, dtype=np.float64, copy=True)
+    if loss_fraction == 0.0 or arr.size == 0:
+        return arr
+    rng = derive_rng(seed, "block-loss")
+    single = arr.ndim == 1
+    mat = np.atleast_2d(arr)
+    n_rows, dim = mat.shape
+    n_blocks = max(1, dim // block_size)
+    n_lost = int(round(loss_fraction * n_blocks))
+    for r in range(n_rows):
+        if n_lost == 0:
+            continue
+        lost = rng.choice(n_blocks, size=min(n_lost, n_blocks), replace=False)
+        for b in lost:
+            start = b * block_size
+            stop = dim if b == n_blocks - 1 else start + block_size
+            mat[r, start:stop] = 0.0
+    return mat[0] if single else mat
+
+
+def drop_dimensions(
+    hypervectors: np.ndarray, loss_fraction: float, seed: SeedLike = None
+) -> np.ndarray:
+    """Zero a random ``loss_fraction`` of each row's dimensions.
+
+    Every row loses an independent random subset (different packets are
+    corrupted differently). Zeroing models erasure: the receiver knows
+    the element is missing and treats it as no-information, which is
+    how the associative search behaves with a 0 element.
+    """
+    check_probability("loss_fraction", loss_fraction)
+    arr = np.array(hypervectors, dtype=np.float64, copy=True)
+    if loss_fraction == 0.0 or arr.size == 0:
+        return arr
+    rng = derive_rng(seed, "dimension-loss")
+    single = arr.ndim == 1
+    mat = np.atleast_2d(arr)
+    n_rows, dim = mat.shape
+    n_lost = int(round(loss_fraction * dim))
+    if n_lost > 0:
+        # Vectorized per-row choice via argsort of random keys.
+        keys = rng.random((n_rows, dim))
+        lost = np.argsort(keys, axis=1)[:, :n_lost]
+        rows = np.repeat(np.arange(n_rows), n_lost)
+        mat[rows, lost.ravel()] = 0.0
+    return mat[0] if single else mat
+
+
+def flip_dimensions(
+    hypervectors: np.ndarray, flip_fraction: float, seed: SeedLike = None
+) -> np.ndarray:
+    """Flip the sign of a random fraction of each row's dimensions.
+
+    A harsher corruption than erasure: the receiver gets wrong values
+    without knowing it (bit flips in binary hypervectors).
+    """
+    check_probability("flip_fraction", flip_fraction)
+    arr = np.array(hypervectors, dtype=np.float64, copy=True)
+    if flip_fraction == 0.0 or arr.size == 0:
+        return arr
+    rng = derive_rng(seed, "dimension-flip")
+    single = arr.ndim == 1
+    mat = np.atleast_2d(arr)
+    mask = rng.random(mat.shape) < flip_fraction
+    mat[mask] *= -1.0
+    return mat[0] if single else mat
+
+
+class FailureModel:
+    """Bernoulli message-drop model with a deterministic stream."""
+
+    def __init__(self, drop_probability: float = 0.0, seed: SeedLike = None) -> None:
+        check_probability("drop_probability", drop_probability)
+        self.drop_probability = float(drop_probability)
+        self._rng = derive_rng(seed, "message-drop")
+
+    def message_dropped(self, message: Message) -> bool:
+        """Decide whether this transmission attempt of ``message`` fails."""
+        if self.drop_probability == 0.0:
+            return False
+        if message.payload_bytes == 0:
+            return False
+        return bool(self._rng.random() < self.drop_probability)

@@ -1,0 +1,47 @@
+"""Network message descriptors.
+
+Every transfer in the system — raw data upload (centralized baseline),
+class-hypervector models, batch hypervectors, compressed query bundles,
+residual propagation — is described by a :class:`Message` so the
+discrete-event simulator can charge transmission time and energy and
+the experiment harness can report communication volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["MessageKind", "Message"]
+
+
+class MessageKind(str, Enum):
+    """What a message carries (used for per-category cost breakdowns)."""
+
+    RAW_DATA = "raw_data"
+    CLASS_MODEL = "class_model"
+    BATCH_HYPERVECTORS = "batch_hypervectors"
+    QUERY = "query"
+    COMPRESSED_QUERY = "compressed_query"
+    RESIDUALS = "residuals"
+    PREDICTION = "prediction"
+    CONTROL = "control"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One directed transfer between two hierarchy nodes."""
+
+    source: int
+    destination: int
+    kind: MessageKind
+    payload_bytes: int
+    #: logical timestamp (e.g. training round or sample index); the
+    #: simulator uses it only for ordering, not for wall-clock time.
+    sequence: int = 0
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError(f"payload_bytes must be >= 0, got {self.payload_bytes}")
+        if self.source == self.destination:
+            raise ValueError("message source and destination must differ")

@@ -1,0 +1,160 @@
+"""Wire protocol: framing and (de)serialization of EdgeHD payloads.
+
+Turns the logical transfers of the system — class-hypervector models,
+batch hypervectors, compressed query bundles, residual stacks — into
+actual byte frames with a header and checksum, so the simulated
+deployment (:mod:`repro.hierarchy.deployment`) can move *real* data
+through the network layer and failure injection corrupts *real*
+payloads.
+
+Frame layout (little-endian):
+
+    magic      2 bytes  (0xED 0x9D)
+    version    1 byte
+    kind       1 byte   (MessageKind ordinal)
+    dimension  4 bytes  (uint32)
+    rows       4 bytes  (uint32; 1 for single hypervectors)
+    aux        4 bytes  (uint32; format-specific, e.g. compression m)
+    length     4 bytes  (uint32 payload byte count)
+    crc32      4 bytes  (of the payload)
+    payload    `length` bytes
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.packing import (
+    pack_bipolar,
+    pack_floats,
+    pack_narrow_ints,
+    unpack_bipolar,
+    unpack_floats,
+    unpack_narrow_ints,
+)
+from repro.network.message import MessageKind
+
+__all__ = ["Frame", "ProtocolError", "encode_frame", "decode_frame"]
+
+_MAGIC = b"\xed\x9d"
+_VERSION = 1
+_HEADER = struct.Struct("<2sBBIIII I".replace(" ", ""))
+_KIND_ORDINALS = {kind: i for i, kind in enumerate(MessageKind)}
+_ORDINAL_KINDS = {i: kind for kind, i in _KIND_ORDINALS.items()}
+
+
+class ProtocolError(ValueError):
+    """Malformed, truncated or corrupted frame."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A decoded frame: payload matrix plus its transport metadata."""
+
+    kind: MessageKind
+    data: np.ndarray  # always 2-D (rows, dimension)
+    aux: int = 0
+
+    @property
+    def dimension(self) -> int:
+        return int(self.data.shape[1])
+
+    @property
+    def rows(self) -> int:
+        return int(self.data.shape[0])
+
+
+def _pack_rows(kind: MessageKind, data: np.ndarray, aux: int) -> bytes:
+    rows = []
+    for row in data:
+        if kind in (MessageKind.QUERY, MessageKind.BATCH_HYPERVECTORS):
+            rows.append(pack_bipolar(row))
+        elif kind == MessageKind.COMPRESSED_QUERY:
+            rows.append(pack_narrow_ints(row, cap=max(1, aux)))
+        else:
+            rows.append(pack_floats(row))
+    return b"".join(rows)
+
+
+def _unpack_rows(
+    kind: MessageKind, payload: bytes, dimension: int, rows: int, aux: int
+) -> np.ndarray:
+    if kind in (MessageKind.QUERY, MessageKind.BATCH_HYPERVECTORS):
+        row_bytes = (dimension + 7) // 8
+        unpack = lambda b: unpack_bipolar(b, dimension)  # noqa: E731
+    elif kind == MessageKind.COMPRESSED_QUERY:
+        from repro.core.packing import bits_for_cap
+
+        row_bytes = (dimension * bits_for_cap(max(1, aux)) + 7) // 8
+        unpack = lambda b: unpack_narrow_ints(b, dimension, max(1, aux))  # noqa: E731
+    else:
+        row_bytes = dimension * 4
+        unpack = lambda b: unpack_floats(b, dimension)  # noqa: E731
+    if len(payload) != rows * row_bytes:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes does not match "
+            f"{rows} rows x {row_bytes} bytes"
+        )
+    out = [
+        unpack(payload[i * row_bytes : (i + 1) * row_bytes])
+        for i in range(rows)
+    ]
+    return np.stack(out) if out else np.empty((0, dimension))
+
+
+def encode_frame(kind: MessageKind, data: np.ndarray, aux: int = 0) -> bytes:
+    """Serialize a hypervector matrix into a checksummed frame.
+
+    ``data`` may be 1-D (one hypervector) or 2-D (a stack). The wire
+    format per row is chosen by ``kind``: queries/batches pack to one
+    bit per element, compressed bundles to ``bits_for_cap(aux)`` bits,
+    everything else to float32.
+    """
+    arr = np.asarray(data)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2 or arr.shape[1] == 0:
+        raise ValueError(f"data must be 1-D or 2-D, got shape {arr.shape}")
+    if aux < 0 or aux > 0xFFFFFFFF:
+        raise ValueError(f"aux out of range: {aux}")
+    payload = _pack_rows(kind, arr, aux)
+    header = _HEADER.pack(
+        _MAGIC,
+        _VERSION,
+        _KIND_ORDINALS[kind],
+        arr.shape[1],
+        arr.shape[0],
+        aux,
+        len(payload),
+        zlib.crc32(payload) & 0xFFFFFFFF,
+    )
+    return header + payload
+
+
+def decode_frame(blob: bytes) -> Frame:
+    """Parse and verify a frame produced by :func:`encode_frame`."""
+    if len(blob) < _HEADER.size:
+        raise ProtocolError(f"frame too short: {len(blob)} bytes")
+    magic, version, kind_ord, dimension, rows, aux, length, crc = _HEADER.unpack(
+        blob[: _HEADER.size]
+    )
+    if magic != _MAGIC:
+        raise ProtocolError("bad magic bytes")
+    if version != _VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    if kind_ord not in _ORDINAL_KINDS:
+        raise ProtocolError(f"unknown message kind ordinal {kind_ord}")
+    payload = blob[_HEADER.size :]
+    if len(payload) != length:
+        raise ProtocolError(
+            f"truncated frame: {len(payload)} of {length} payload bytes"
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise ProtocolError("checksum mismatch (corrupted payload)")
+    kind = _ORDINAL_KINDS[kind_ord]
+    data = _unpack_rows(kind, payload, dimension, rows, aux)
+    return Frame(kind=kind, data=data, aux=aux)

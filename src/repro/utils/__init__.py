@@ -1,0 +1,20 @@
+"""Shared utilities: RNG management, validation helpers, table formatting."""
+
+from repro.utils.rng import derive_rng, spawn_seeds
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_fitted,
+    check_positive,
+    check_probability,
+    check_vector,
+)
+
+__all__ = [
+    "derive_rng",
+    "spawn_seeds",
+    "format_table",
+    "check_fitted",
+    "check_positive",
+    "check_probability",
+    "check_vector",
+]

@@ -1,0 +1,69 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.dataset == "PDP"
+        assert args.dimension == 4000
+        assert args.encoder == "rbf"
+
+    def test_federate_topologies(self):
+        for topo in ("star", "tree", "pecan"):
+            args = build_parser().parse_args(["federate", "--topology", topo])
+            assert args.topology == topo
+
+    def test_invalid_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--dataset", "CIFAR"])
+
+    def test_reproduce_choices(self):
+        args = build_parser().parse_args(["reproduce", "--figure", "table2"])
+        assert args.figure == "table2"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "--figure", "fig99"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "PECAN" in out and "MNIST" in out
+
+    def test_train_small(self, capsys, tmp_path):
+        checkpoint = str(tmp_path / "model.npz")
+        code = main(
+            [
+                "train", "--dataset", "PDP", "--dimension", "256",
+                "--scale", "0.02", "--epochs", "2", "--save", checkpoint,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "test accuracy" in out
+        assert (tmp_path / "model.npz").exists()
+
+    def test_federate_small(self, capsys):
+        code = main(
+            [
+                "federate", "--dataset", "PDP", "--dimension", "256",
+                "--scale", "0.02", "--epochs", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "level 1" in out and "training traffic" in out
+
+    def test_federate_rejects_flat_dataset(self, capsys):
+        code = main(
+            ["federate", "--dataset", "MNIST", "--scale", "0.001"]
+        )
+        assert code == 2

@@ -1,0 +1,212 @@
+"""Unit tests for the HD classifier (training, retraining, inference)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import HDClassifier, softmax_confidence
+from repro.core.encoding import RBFEncoder
+
+
+@pytest.fixture(scope="module")
+def encoded_problem():
+    """A 3-class problem already encoded into hyperspace."""
+    rng = np.random.default_rng(1)
+    n_per_class, n_features, dim = 60, 10, 600
+    centers = rng.standard_normal((3, n_features)) * 3.0
+    xs, ys = [], []
+    for cls in range(3):
+        xs.append(centers[cls] + rng.standard_normal((n_per_class, n_features)))
+        ys.append(np.full(n_per_class, cls))
+    x = np.vstack(xs)
+    y = np.concatenate(ys)
+    encoder = RBFEncoder(n_features, dim, gamma=0.3, seed=2)
+    return encoder.encode(x), y, dim
+
+
+class TestSoftmaxConfidence:
+    def test_rows_sum_to_one(self):
+        sims = np.array([[0.9, 0.1, 0.0], [0.2, 0.3, 0.25]])
+        conf = softmax_confidence(sims)
+        assert np.allclose(conf.sum(axis=1), 1.0)
+
+    def test_sharper_margin_higher_confidence(self):
+        wide = softmax_confidence(np.array([[0.9, 0.0]]), temperature=0.05)
+        narrow = softmax_confidence(np.array([[0.51, 0.49]]), temperature=0.05)
+        assert wide[0, 0] > narrow[0, 0]
+
+    def test_temperature_sharpens(self):
+        sims = np.array([[0.6, 0.4]])
+        hot = softmax_confidence(sims, temperature=1.0)
+        cold = softmax_confidence(sims, temperature=0.01)
+        assert cold[0, 0] > hot[0, 0]
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            softmax_confidence(np.array([[1.0, 0.0]]), temperature=0.0)
+
+    def test_mean_invariance(self):
+        """Adding a constant to all similarities must not change output."""
+        sims = np.array([[0.3, 0.1, 0.2]])
+        shifted = sims + 5.0
+        assert np.allclose(
+            softmax_confidence(sims), softmax_confidence(shifted)
+        )
+
+
+class TestInitialTraining:
+    def test_fit_initial_bundles_per_class(self):
+        clf = HDClassifier(2, 4)
+        enc = np.array([[1, 1, -1, -1], [1, -1, 1, -1], [-1, -1, 1, 1]], dtype=float)
+        y = np.array([0, 0, 1])
+        clf.fit_initial(enc, y)
+        assert np.array_equal(clf.class_hypervectors[0], enc[0] + enc[1])
+        assert np.array_equal(clf.class_hypervectors[1], enc[2])
+
+    def test_initial_accuracy_reasonable(self, encoded_problem):
+        enc, y, dim = encoded_problem
+        clf = HDClassifier(3, dim).fit_initial(enc, y)
+        assert clf.accuracy(enc, y) > 0.8
+
+    def test_mismatched_lengths(self):
+        clf = HDClassifier(2, 8)
+        with pytest.raises(ValueError):
+            clf.fit_initial(np.ones((3, 8)), np.array([0, 1]))
+
+    def test_label_out_of_range(self):
+        clf = HDClassifier(2, 8)
+        with pytest.raises(ValueError):
+            clf.fit_initial(np.ones((2, 8)), np.array([0, 5]))
+
+    def test_wrong_dimension(self):
+        clf = HDClassifier(2, 8)
+        with pytest.raises(ValueError):
+            clf.fit_initial(np.ones((2, 9)), np.array([0, 1]))
+
+
+class TestRetrain:
+    @pytest.mark.parametrize("mode", ["batched", "online"])
+    def test_retrain_improves_training_accuracy(self, encoded_problem, mode):
+        enc, y, dim = encoded_problem
+        clf = HDClassifier(3, dim).fit_initial(enc, y)
+        initial = clf.accuracy(enc, y)
+        history = clf.retrain(enc, y, epochs=10, shuffle_seed=0, mode=mode)
+        assert clf.accuracy(enc, y) >= initial
+        assert len(history) <= 10
+
+    def test_retrain_early_stops_at_perfect(self, encoded_problem):
+        enc, y, dim = encoded_problem
+        clf = HDClassifier(3, dim).fit_initial(enc, y)
+        history = clf.retrain(enc, y, epochs=100, shuffle_seed=0)
+        if history and history[-1] == 1.0:
+            assert len(history) < 100
+
+    def test_retrain_before_fit_raises(self):
+        clf = HDClassifier(2, 8)
+        with pytest.raises(RuntimeError):
+            clf.retrain(np.ones((2, 8)), np.array([0, 1]))
+
+    def test_retrain_zero_epochs_noop(self, encoded_problem):
+        enc, y, dim = encoded_problem
+        clf = HDClassifier(3, dim).fit_initial(enc, y)
+        before = clf.class_hypervectors.copy()
+        assert clf.retrain(enc, y, epochs=0) == []
+        assert np.array_equal(clf.class_hypervectors, before)
+
+    def test_retrain_invalid_mode(self, encoded_problem):
+        enc, y, dim = encoded_problem
+        clf = HDClassifier(3, dim).fit_initial(enc, y)
+        with pytest.raises(ValueError):
+            clf.retrain(enc, y, mode="magic")
+
+    def test_retrain_empty_set(self, encoded_problem):
+        enc, y, dim = encoded_problem
+        clf = HDClassifier(3, dim).fit_initial(enc, y)
+        assert clf.retrain(enc[:0], y[:0], epochs=3) == []
+
+
+class TestInference:
+    def test_predict_shapes(self, encoded_problem):
+        enc, y, dim = encoded_problem
+        clf = HDClassifier(3, dim).fit_initial(enc, y)
+        result = clf.predict(enc[:10])
+        assert result.labels.shape == (10,)
+        assert result.similarities.shape == (10, 3)
+        assert result.confidences.shape == (10, 3)
+        assert result.top_confidence.shape == (10,)
+
+    def test_top_confidence_is_argmax_confidence(self, encoded_problem):
+        enc, y, dim = encoded_problem
+        clf = HDClassifier(3, dim).fit_initial(enc, y)
+        result = clf.predict(enc[:5])
+        for i in range(5):
+            assert result.top_confidence[i] == result.confidences[i].max()
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            HDClassifier(2, 8).predict(np.ones((1, 8)))
+
+    def test_accuracy_empty_raises(self, encoded_problem):
+        enc, y, dim = encoded_problem
+        clf = HDClassifier(3, dim).fit_initial(enc, y)
+        with pytest.raises(ValueError):
+            clf.accuracy(enc[:0], y[:0])
+
+    def test_similarities_are_cosine(self, encoded_problem):
+        enc, y, dim = encoded_problem
+        clf = HDClassifier(3, dim).fit_initial(enc, y)
+        sims = clf.similarities(enc[:3])
+        assert np.all(sims <= 1.0 + 1e-9)
+        assert np.all(sims >= -1.0 - 1e-9)
+
+
+class TestModelManagement:
+    def test_set_model_shape_check(self):
+        clf = HDClassifier(3, 8)
+        with pytest.raises(ValueError):
+            clf.set_model(np.ones((2, 8)))
+        with pytest.raises(ValueError):
+            clf.set_model(np.ones((3, 9)))
+
+    def test_set_model_copies(self):
+        clf = HDClassifier(2, 4)
+        model = np.ones((2, 4))
+        clf.set_model(model)
+        model[0, 0] = 99.0
+        assert clf.class_hypervectors[0, 0] == 1.0
+
+    def test_update_add_and_subtract(self):
+        clf = HDClassifier(2, 4).set_model(np.zeros((2, 4)))
+        delta = np.array([1.0, 2.0, 3.0, 4.0])
+        clf.update(0, delta)
+        assert np.array_equal(clf.class_hypervectors[0], delta)
+        clf.update(0, delta, subtract=True)
+        assert np.array_equal(clf.class_hypervectors[0], np.zeros(4))
+
+    def test_update_out_of_range(self):
+        clf = HDClassifier(2, 4).set_model(np.zeros((2, 4)))
+        with pytest.raises(IndexError):
+            clf.update(5, np.zeros(4))
+
+    def test_update_wrong_shape(self):
+        clf = HDClassifier(2, 4).set_model(np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            clf.update(0, np.zeros(5))
+
+    def test_copy_is_independent(self, encoded_problem):
+        enc, y, dim = encoded_problem
+        clf = HDClassifier(3, dim).fit_initial(enc, y)
+        clone = clf.copy()
+        clone.class_hypervectors[0, 0] += 100.0
+        assert clf.class_hypervectors[0, 0] != clone.class_hypervectors[0, 0]
+
+    def test_copy_unfitted(self):
+        clone = HDClassifier(2, 8).copy()
+        assert clone.class_hypervectors is None
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            HDClassifier(1, 8)
+        with pytest.raises(ValueError):
+            HDClassifier(2, 0)
+        with pytest.raises(ValueError):
+            HDClassifier(2, 8, confidence_temperature=0.0)

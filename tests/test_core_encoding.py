@@ -1,0 +1,199 @@
+"""Unit tests for the feature-to-hypervector encoders."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import (
+    CosSinEncoder,
+    IDLevelEncoder,
+    LinearEncoder,
+    RBFEncoder,
+    make_encoder,
+)
+
+
+@pytest.fixture(scope="module")
+def features(rng=np.random.default_rng(0)):
+    return rng.standard_normal((40, 12))
+
+
+class TestRBFEncoder:
+    def test_output_shape_and_values(self, features):
+        enc = RBFEncoder(12, 400, seed=1)
+        out = enc.encode(features)
+        assert out.shape == (40, 400)
+        assert set(np.unique(out)) <= {-1, 1}
+
+    def test_single_vector(self, features):
+        enc = RBFEncoder(12, 128, seed=1)
+        one = enc.encode_one(features[0])
+        assert one.shape == (128,)
+        assert np.array_equal(one, enc.encode(features[:1])[0])
+
+    def test_deterministic(self, features):
+        a = RBFEncoder(12, 256, seed=9).encode(features)
+        b = RBFEncoder(12, 256, seed=9).encode(features)
+        assert np.array_equal(a, b)
+
+    def test_kernel_approximation(self):
+        """Eq. 1: inner products approximate the Gaussian kernel."""
+        gamma = 0.5
+        enc = RBFEncoder(6, 20_000, gamma=gamma, binarize=False, seed=2)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            a = rng.standard_normal(6)
+            b = rng.standard_normal(6)
+            expected = np.exp(-(gamma**2) * np.sum((a - b) ** 2) / 2.0)
+            approx = enc.kernel_approximation(a, b)
+            assert approx == pytest.approx(expected, abs=0.05)
+
+    def test_similar_inputs_similar_encodings(self):
+        enc = RBFEncoder(8, 4000, gamma=0.3, seed=4)
+        base = np.ones(8)
+        near = base + 0.01
+        far = base + 10.0
+        e_base = enc.encode_one(base).astype(float)
+        e_near = enc.encode_one(near).astype(float)
+        e_far = enc.encode_one(far).astype(float)
+        sim_near = e_base @ e_near / 4000
+        sim_far = e_base @ e_far / 4000
+        assert sim_near > sim_far
+        assert sim_near > 0.9
+
+    def test_sparsity_zeroes_weights(self):
+        enc = RBFEncoder(100, 300, sparsity=0.8, seed=5)
+        nonzero_per_row = np.count_nonzero(enc.weights, axis=1)
+        assert np.all(nonzero_per_row <= enc.block_length)
+        assert enc.block_length == 20
+
+    def test_sparsity_block_contiguous_mod_n(self):
+        enc = RBFEncoder(10, 50, sparsity=0.5, seed=6)
+        for row, start in zip(enc.weights, enc.block_starts):
+            expect = set((start + np.arange(enc.block_length)) % 10)
+            actual = set(np.flatnonzero(row))
+            assert actual <= expect
+
+    def test_sparse_multiplies_reduced(self):
+        dense = RBFEncoder(100, 200, sparsity=0.0, seed=7)
+        sparse = RBFEncoder(100, 200, sparsity=0.8, seed=7)
+        assert sparse.multiplies_per_sample() < dense.multiplies_per_sample()
+
+    def test_sparse_encoder_still_learns_similarity(self):
+        enc = RBFEncoder(16, 4000, gamma=0.3, sparsity=0.8, seed=8)
+        base = np.zeros(16)
+        e0 = enc.encode_one(base).astype(float)
+        e1 = enc.encode_one(base + 0.01).astype(float)
+        assert e0 @ e1 / 4000 > 0.9
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            RBFEncoder(4, 16, gamma=0.0)
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ValueError):
+            RBFEncoder(4, 16, sparsity=1.5)
+
+    def test_wrong_feature_count(self, features):
+        enc = RBFEncoder(12, 64, seed=1)
+        with pytest.raises(ValueError):
+            enc.encode(features[:, :5])
+
+
+class TestCosSinEncoder:
+    def test_shape_and_binarize(self, features):
+        enc = CosSinEncoder(12, 200, seed=10)
+        out = enc.encode(features)
+        assert out.shape == (40, 200)
+        assert set(np.unique(out)) <= {-1, 1}
+
+    def test_non_binarized_range(self, features):
+        enc = CosSinEncoder(12, 200, binarize=False, seed=10)
+        out = enc.encode(features)
+        # cos(a+b) * sin(a) is bounded by 1 in magnitude.
+        assert np.all(np.abs(out) <= 1.0 + 1e-12)
+
+    def test_deterministic(self, features):
+        a = CosSinEncoder(12, 100, seed=11).encode(features)
+        b = CosSinEncoder(12, 100, seed=11).encode(features)
+        assert np.array_equal(a, b)
+
+
+class TestLinearEncoder:
+    def test_shape(self, features):
+        enc = LinearEncoder(12, 300, seed=12)
+        assert enc.encode(features).shape == (40, 300)
+
+    def test_is_linear_before_binarization(self, features):
+        enc = LinearEncoder(12, 64, binarize=False, seed=13)
+        a = enc.encode(features[:1])
+        b = enc.encode(2.0 * features[:1])
+        assert np.allclose(b, 2.0 * a)
+
+    def test_sign_invariance_to_scaling(self, features):
+        """A linear encoder cannot distinguish x from 2x after sign()."""
+        enc = LinearEncoder(12, 256, seed=14)
+        assert np.array_equal(
+            enc.encode(features[:1]), enc.encode(3.0 * features[:1])
+        )
+
+
+class TestIDLevelEncoder:
+    def test_shape_and_values(self, features):
+        enc = IDLevelEncoder(12, 500, seed=15)
+        out = enc.encode(features)
+        assert out.shape == (40, 500)
+        assert set(np.unique(out)) <= {-1, 1}
+
+    def test_nearby_levels_similar(self):
+        enc = IDLevelEncoder(1, 4000, n_levels=16, value_range=(0.0, 1.0), seed=16)
+        lv = enc.level_vectors.astype(float)
+        sim_adjacent = lv[0] @ lv[1] / 4000
+        sim_far = lv[0] @ lv[15] / 4000
+        assert sim_adjacent > sim_far
+
+    def test_quantization_clips(self):
+        enc = IDLevelEncoder(2, 64, value_range=(-1.0, 1.0), seed=17)
+        levels = enc._quantize(np.array([[-100.0, 100.0]]))
+        assert levels[0, 0] == 0
+        assert levels[0, 1] == enc.n_levels - 1
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            IDLevelEncoder(4, 16, n_levels=1)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            IDLevelEncoder(4, 16, value_range=(1.0, 1.0))
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [
+            ("rbf", RBFEncoder),
+            ("cos-sin", CosSinEncoder),
+            ("linear", LinearEncoder),
+            ("id-level", IDLevelEncoder),
+        ],
+    )
+    def test_kinds(self, kind, cls):
+        enc = make_encoder(kind, 10, 64, seed=1)
+        assert isinstance(enc, cls)
+        assert enc.n_features == 10
+        assert enc.dimension == 64
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_encoder("fourier", 10, 64)
+
+    def test_default_gamma_scales_with_features(self):
+        wide = make_encoder("rbf", 400, 64, seed=1)
+        narrow = make_encoder("rbf", 4, 64, seed=1)
+        assert isinstance(wide, RBFEncoder) and isinstance(narrow, RBFEncoder)
+        assert wide.gamma < narrow.gamma
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            make_encoder("rbf", 0, 64)
+        with pytest.raises(ValueError):
+            make_encoder("rbf", 10, 0)

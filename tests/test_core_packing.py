@@ -1,0 +1,105 @@
+"""Unit tests for bit-level hypervector packing."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypervector import random_bipolar
+from repro.core.packing import (
+    bits_for_cap,
+    pack_bipolar,
+    pack_floats,
+    pack_narrow_ints,
+    unpack_bipolar,
+    unpack_floats,
+    unpack_narrow_ints,
+)
+
+
+class TestBipolarPacking:
+    @pytest.mark.parametrize("dim", [1, 7, 8, 9, 64, 4000, 4001])
+    def test_roundtrip(self, dim):
+        hv = random_bipolar(dim, seed=dim)
+        assert np.array_equal(unpack_bipolar(pack_bipolar(hv), dim), hv)
+
+    def test_one_bit_per_element(self):
+        hv = random_bipolar(4000, seed=1)
+        assert len(pack_bipolar(hv)) == 500
+
+    def test_zero_element_rejected(self):
+        with pytest.raises(ValueError):
+            pack_bipolar(np.array([1.0, 0.0, -1.0]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            pack_bipolar(np.ones((2, 4)))
+
+    def test_wrong_length_rejected(self):
+        hv = random_bipolar(64, seed=2)
+        with pytest.raises(ValueError):
+            unpack_bipolar(pack_bipolar(hv), 128)
+
+    def test_float_bipolar_accepted(self):
+        hv = random_bipolar(32, seed=3).astype(np.float64) * 2.5
+        # Any sign-definite values pack by sign.
+        unpacked = unpack_bipolar(pack_bipolar(hv), 32)
+        assert np.array_equal(unpacked, np.sign(hv).astype(np.int8))
+
+
+class TestNarrowIntPacking:
+    def test_bits_for_cap(self):
+        assert bits_for_cap(1) == 2  # 3 states
+        assert bits_for_cap(25) == 6  # 51 states
+        assert bits_for_cap(127) == 8
+
+    def test_bits_for_cap_invalid(self):
+        with pytest.raises(ValueError):
+            bits_for_cap(0)
+
+    @pytest.mark.parametrize("cap", [1, 3, 25, 100])
+    def test_roundtrip(self, cap):
+        rng = np.random.default_rng(cap)
+        values = rng.integers(-cap, cap + 1, size=777)
+        payload = pack_narrow_ints(values, cap)
+        assert np.array_equal(unpack_narrow_ints(payload, 777, cap), values)
+
+    def test_extremes_roundtrip(self):
+        values = np.array([-25, 25, 0, -1, 1])
+        payload = pack_narrow_ints(values, 25)
+        assert np.array_equal(unpack_narrow_ints(payload, 5, 25), values)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_narrow_ints(np.array([30]), cap=25)
+
+    def test_non_integers_rejected(self):
+        with pytest.raises(ValueError):
+            pack_narrow_ints(np.array([0.5]), cap=25)
+
+    def test_smaller_than_float32(self):
+        values = np.zeros(4000, dtype=np.int64)
+        assert len(pack_narrow_ints(values, 25)) < 4000 * 4 / 4
+
+    def test_wrong_payload_length(self):
+        payload = pack_narrow_ints(np.zeros(10, dtype=int), 3)
+        with pytest.raises(ValueError):
+            unpack_narrow_ints(payload, 11, 3)
+
+
+class TestFloatPacking:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(5)
+        values = rng.standard_normal(321)
+        payload = pack_floats(values)
+        recovered = unpack_floats(payload, 321)
+        assert np.allclose(recovered, values, atol=1e-6)
+
+    def test_four_bytes_per_element(self):
+        assert len(pack_floats(np.zeros(100))) == 400
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError):
+            unpack_floats(b"\x00" * 10, 4)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            pack_floats(np.zeros((2, 2)))

@@ -1,0 +1,96 @@
+"""Unit tests for the Table I dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    DATASETS,
+    HIERARCHY_DATASETS,
+    dataset_names,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_nine_present(self):
+        assert len(DATASETS) == 9
+        assert dataset_names() == [
+            "MNIST", "ISOLET", "UCIHAR", "EXTRA", "FACE",
+            "PECAN", "PAMAP2", "APRI", "PDP",
+        ]
+
+    def test_table1_shapes(self):
+        """Spec fields mirror Table I of the paper."""
+        expectations = {
+            "MNIST": (784, 10, None, 60_000, 10_000),
+            "ISOLET": (617, 26, None, 6_238, 1_559),
+            "UCIHAR": (561, 12, None, 6_213, 1_554),
+            "EXTRA": (225, 4, None, 146_869, 16_343),
+            "FACE": (608, 2, None, 522_441, 2_494),
+            "PECAN": (312, 3, 312, 22_290, 5_574),
+            "PAMAP2": (75, 5, 3, 611_142, 101_582),
+            "APRI": (36, 2, 3, 67_017, 1_241),
+            "PDP": (60, 2, 5, 17_385, 7_334),
+        }
+        for name, (n, k, nodes, train, test) in expectations.items():
+            spec = DATASETS[name]
+            assert spec.n_features == n
+            assert spec.n_classes == k
+            assert spec.n_end_nodes == nodes
+            assert spec.paper_train_size == train
+            assert spec.paper_test_size == test
+
+    def test_hierarchy_subset(self):
+        assert set(HIERARCHY_DATASETS) == {"PECAN", "PAMAP2", "APRI", "PDP"}
+        for name in HIERARCHY_DATASETS:
+            assert DATASETS[name].is_hierarchical
+
+
+class TestLoadDataset:
+    def test_shapes_match_spec(self):
+        data = load_dataset("PDP", scale=0.05)
+        spec = DATASETS["PDP"]
+        assert data.n_features == spec.n_features
+        assert data.n_classes == spec.n_classes
+
+    def test_scale_controls_size(self):
+        small = load_dataset("PDP", scale=0.02)
+        large = load_dataset("PDP", scale=0.1)
+        assert small.n_train < large.n_train
+
+    def test_max_caps(self):
+        data = load_dataset("FACE", scale=1.0, max_train=500, max_test=100)
+        assert data.n_train <= 500
+        assert data.n_test <= 100
+
+    def test_deterministic(self):
+        a = load_dataset("APRI", scale=0.02, seed=4)
+        b = load_dataset("APRI", scale=0.02, seed=4)
+        assert np.array_equal(a.train_x, b.train_x)
+        assert np.array_equal(a.test_y, b.test_y)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("CIFAR")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("PDP", scale=0.0)
+
+    def test_minimum_samples_per_class(self):
+        """Even tiny scales keep enough samples to train."""
+        data = load_dataset("ISOLET", scale=0.001)
+        counts = np.bincount(data.train_y, minlength=data.n_classes)
+        assert counts.min() >= 1
+
+    def test_learnable(self):
+        """Each generated dataset is actually learnable by EdgeHD."""
+        from repro.core.model import EdgeHDModel
+
+        data = load_dataset("UCIHAR", scale=0.05, max_train=800, max_test=300)
+        model = EdgeHDModel(
+            data.n_features, data.n_classes, dimension=1000, seed=1
+        )
+        model.fit(data.train_x, data.train_y, retrain_epochs=5)
+        chance = 1.0 / data.n_classes
+        assert model.accuracy(data.test_x, data.test_y) > chance + 0.3

@@ -1,0 +1,121 @@
+"""Unit tests for drift models and time-ordered streams."""
+
+import numpy as np
+import pytest
+
+from repro.data.streams import (
+    DriftStream,
+    GradualDrift,
+    RecurringDrift,
+    ShiftDrift,
+)
+
+
+@pytest.fixture()
+def block():
+    rng = np.random.default_rng(1)
+    return rng.standard_normal((100, 8)), rng.integers(0, 3, size=100)
+
+
+class TestShiftDrift:
+    def test_constant_over_time(self, block):
+        x, _ = block
+        drift = ShiftDrift(8, strength=1.0, seed=2)
+        early = drift.apply(x, 0.0)
+        late = drift.apply(x, 1.0)
+        assert np.array_equal(early, late)
+
+    def test_offset_magnitude(self):
+        drift = ShiftDrift(10_000, strength=2.0, seed=3)
+        assert abs(drift.offsets.std() - 2.0) < 0.1
+
+    def test_zero_strength_identity(self, block):
+        x, _ = block
+        drift = ShiftDrift(8, strength=0.0, seed=4)
+        assert np.allclose(drift.apply(x, 0.5), x)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ShiftDrift(0)
+        with pytest.raises(ValueError):
+            ShiftDrift(4, strength=-1.0)
+
+
+class TestGradualDrift:
+    def test_ramps_linearly(self, block):
+        x, _ = block
+        drift = GradualDrift(8, strength=1.0, seed=5)
+        start = drift.apply(x, 0.0)
+        mid = drift.apply(x, 0.5)
+        end = drift.apply(x, 1.0)
+        assert np.allclose(start, x)
+        assert np.allclose(mid - x, (end - x) / 2.0)
+
+    def test_progress_validation(self, block):
+        x, _ = block
+        drift = GradualDrift(8, seed=6)
+        with pytest.raises(ValueError):
+            drift.apply(x, 1.5)
+
+
+class TestRecurringDrift:
+    def test_oscillates(self, block):
+        x, _ = block
+        drift = RecurringDrift(8, strength=1.0, cycles=1.0, seed=7)
+        quarter = drift.apply(x, 0.25)  # sin peak
+        half = drift.apply(x, 0.5)  # sin zero
+        assert np.allclose(half, x, atol=1e-9)
+        assert not np.allclose(quarter, x)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            RecurringDrift(4, cycles=0.0)
+
+
+class TestDriftStream:
+    def test_chunks_cover_stream(self, block):
+        x, y = block
+        stream = DriftStream(x, y, ShiftDrift(8, seed=8))
+        chunks = list(stream.chunks(7))
+        total = sum(cx.shape[0] for cx, _, _ in chunks)
+        assert total == 100
+        labels = np.concatenate([cy for _, cy, _ in chunks])
+        assert np.array_equal(labels, y)
+
+    def test_progress_monotone(self, block):
+        x, y = block
+        stream = DriftStream(x, y, GradualDrift(8, seed=9))
+        progresses = [p for _, _, p in stream.chunks(5)]
+        assert progresses == sorted(progresses)
+        assert all(0.0 < p < 1.0 for p in progresses)
+
+    def test_gradual_applied_per_chunk(self, block):
+        x, y = block
+        drift = GradualDrift(8, strength=2.0, seed=10)
+        stream = DriftStream(x, y, drift)
+        chunks = list(stream.chunks(4))
+        # Later chunks deviate more from the raw block.
+        first_dev = np.abs(chunks[0][0] - x[:25]).mean()
+        last_dev = np.abs(chunks[-1][0] - x[75:]).mean()
+        assert last_dev > first_dev
+
+    def test_drifted_test_view(self, block):
+        x, y = block
+        drift = ShiftDrift(8, strength=1.0, seed=11)
+        stream = DriftStream(x, y, drift)
+        view = stream.drifted_test_view(x[:5])
+        assert np.allclose(view, x[:5] + drift.offsets)
+
+    def test_validation(self, block):
+        x, y = block
+        with pytest.raises(ValueError):
+            DriftStream(x, y[:-1], ShiftDrift(8))
+        with pytest.raises(ValueError):
+            DriftStream(np.empty((0, 8)), np.empty(0, dtype=int), ShiftDrift(8))
+        stream = DriftStream(x, y, ShiftDrift(8))
+        with pytest.raises(ValueError):
+            list(stream.chunks(0))
+
+    def test_len(self, block):
+        x, y = block
+        assert len(DriftStream(x, y, ShiftDrift(8))) == 100

@@ -1,0 +1,231 @@
+"""Integration tests: every experiment runs at quick scale and
+preserves the paper's qualitative claims."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    format_ablation,
+    format_figure7,
+    format_figure8,
+    format_figure9,
+    format_figure10,
+    format_figure11,
+    format_figure12,
+    format_figure13,
+    format_table2,
+    run_batch_size_ablation,
+    run_compression_ablation,
+    run_encoder_ablation,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+    run_figure13,
+    run_table2,
+)
+
+TINY = ExperimentScale(
+    name="tiny", data_scale=0.03, max_train=500, max_test=200,
+    dimension=512, retrain_epochs=4, batch_size=10,
+)
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure7(datasets=("APRI", "PDP"), scale=TINY)
+
+    def test_all_algorithms_present(self, result):
+        for per_ds in result.accuracy.values():
+            assert set(per_ds) == {"EdgeHD", "DNN", "SVM", "AdaBoost", "BaselineHD"}
+
+    def test_accuracies_in_range(self, result):
+        for per_ds in result.accuracy.values():
+            for acc in per_ds.values():
+                assert 0.0 <= acc <= 1.0
+
+    def test_edgehd_beats_chance(self, result):
+        assert result.mean_accuracy("EdgeHD") > 0.6
+
+    def test_format(self, result):
+        text = format_figure7(result)
+        assert "Fig. 7" in text and "MEAN" in text
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            run_figure7(datasets=("NOPE",), scale=TINY)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2(datasets=("APRI", "PDP"), scale=TINY)
+
+    def test_levels_present(self, result):
+        for levels in result.by_level.values():
+            assert set(levels) == {1, 2, 3}
+
+    def test_hierarchy_gain(self, result):
+        for name, levels in result.by_level.items():
+            assert levels[3] > levels[1] - 0.05
+
+    def test_format(self, result):
+        assert "Table II" in format_table2(result)
+
+    def test_non_hierarchy_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            run_table2(datasets=("MNIST",), scale=TINY)
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure8(scale=TINY, n_steps=2)
+
+    def test_metrics_length(self, result):
+        assert len(result.metrics) == 3
+
+    def test_series_access(self, result):
+        for which in ("accuracy", "confidence", "frequency"):
+            series = result.series(which, result.depth)
+            assert len(series) == 3
+
+    def test_format(self, result):
+        text = format_figure8(result)
+        assert "Fig. 8(a)" in text and "Fig. 8(c)" in text
+
+    def test_invalid_offline_fraction(self):
+        with pytest.raises(ValueError):
+            run_figure8(scale=TINY, offline_fraction=1.5)
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure9(datasets=("PDP",), n_steps=2, scale=TINY)
+
+    def test_trajectory_length(self, result):
+        assert len(result.trajectories["PDP"]) == 3
+
+    def test_improvement_finite(self, result):
+        assert np.isfinite(result.improvement("PDP"))
+
+    def test_format(self, result):
+        assert "Fig. 9" in format_figure9(result)
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure10(datasets=("APRI", "PDP"))
+
+    def test_grid_complete(self, result):
+        for phase in ("train", "infer"):
+            for topo in ("star", "tree"):
+                for config in ("dnn-gpu", "hd-gpu", "hd-fpga", "edgehd"):
+                    for ds in ("APRI", "PDP"):
+                        assert (phase, topo, config, ds) in result.costs
+
+    def test_edgehd_cheapest_energy(self, result):
+        assert result.energy_gain("train", "edgehd", "hd-gpu") > 1.0
+        assert result.energy_gain("train", "edgehd", "dnn-gpu") > 1.0
+
+    def test_hd_beats_dnn(self, result):
+        assert result.speedup("train", "hd-gpu", "dnn-gpu") > 1.0
+
+    def test_tree_more_comm_than_star(self, result):
+        tree = result.mean_cost("train", "tree", "hd-gpu")
+        star = result.mean_cost("train", "star", "hd-gpu")
+        assert tree.comm_time_s > star.comm_time_s
+
+    def test_comm_savings(self, result):
+        assert result.communication_saving("train", "edgehd", "hd-fpga") > 0.5
+
+    def test_format(self, result):
+        assert "Fig. 10" in format_figure10(result)
+
+
+class TestFigure11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure11(datasets=("PDP",))
+
+    def test_bandwidth_trend(self, result):
+        assert result.mean_speedup("bluetooth-4.0") > result.mean_speedup(
+            "wired-1gbps"
+        )
+
+    def test_level_trend(self, result):
+        for medium in result.media:
+            assert result.speedup[(medium, 1)] > result.speedup[(medium, 3)]
+
+    def test_format(self, result):
+        assert "Fig. 11" in format_figure11(result)
+
+    def test_unknown_medium(self):
+        with pytest.raises(KeyError):
+            run_figure11(datasets=("PDP",), media=("carrier-pigeon",))
+
+
+class TestFigure12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure12(datasets=("PDP",), losses=(0.0, 0.8), scale=TINY)
+
+    def test_systems_present(self, result):
+        assert set(result.accuracy) == {
+            "EdgeHD-holographic", "EdgeHD-concat", "DNN",
+        }
+
+    def test_loss_degrades(self, result):
+        for system, per_ds in result.accuracy.items():
+            for per_loss in per_ds.values():
+                assert per_loss[0.8] <= per_loss[0.0] + 0.05
+
+    def test_format(self, result):
+        assert "Fig. 12" in format_figure12(result)
+
+
+class TestFigure13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure13(
+            dataset="PDP", depths=(3, 5), scale=TINY, measure_accuracy=True
+        )
+
+    def test_speedups_positive(self, result):
+        for value in result.speedup.values():
+            assert value > 0.0
+
+    def test_accuracy_recorded(self, result):
+        assert set(result.accuracy) == {3, 5}
+
+    def test_format(self, result):
+        assert "Fig. 13" in format_figure13(result)
+
+
+class TestAblations:
+    def test_encoder_ablation(self):
+        result = run_encoder_ablation(
+            dataset="PDP", encoders=("rbf", "linear"), scale=TINY
+        )
+        acc = dict(zip(result.column("Encoder"), result.column("Accuracy")))
+        assert set(acc) == {"rbf", "linear"}
+        assert "Ablation" in format_ablation(result)
+
+    def test_batch_size_ablation(self):
+        result = run_batch_size_ablation(
+            dataset="PDP", batch_sizes=(5, 50), scale=TINY
+        )
+        kb = result.column("Training KB")
+        assert kb[0] > kb[1]
+
+    def test_compression_ablation(self):
+        result = run_compression_ablation(counts=(1, 25), dimension=1024)
+        fidelity = result.column("Decode hamming")
+        assert fidelity[0] >= fidelity[1]
+        assert fidelity[0] == pytest.approx(1.0)

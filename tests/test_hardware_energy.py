@@ -1,0 +1,54 @@
+"""Unit tests for combined compute + communication cost accounting."""
+
+import pytest
+
+from repro.hardware.energy import CostBreakdown
+from repro.network.simulator import SimulationResult
+
+
+def sim(makespan=1.0, energy=2.0, total_bytes=100):
+    return SimulationResult(
+        makespan_s=makespan, busy_time_s=makespan, energy_j=energy,
+        total_bytes=total_bytes, delivered=1, dropped=0, retransmissions=0,
+    )
+
+
+class TestCostBreakdown:
+    def test_totals(self):
+        cost = CostBreakdown(
+            compute_time_s=2.0, compute_energy_j=5.0,
+            comm_time_s=3.0, comm_energy_j=1.0, comm_bytes=10,
+        )
+        assert cost.total_time_s == 5.0
+        assert cost.total_energy_j == 6.0
+        assert cost.comm_fraction == pytest.approx(0.6)
+
+    def test_comm_fraction_zero_total(self):
+        assert CostBreakdown().comm_fraction == 0.0
+
+    def test_add_compute(self):
+        cost = CostBreakdown().add_compute(1.0, 2.0).add_compute(0.5, 0.5)
+        assert cost.compute_time_s == 1.5
+        assert cost.compute_energy_j == 2.5
+
+    def test_add_simulation(self):
+        cost = CostBreakdown().add_simulation(sim()).add_simulation(sim())
+        assert cost.comm_time_s == 2.0
+        assert cost.comm_energy_j == 4.0
+        assert cost.comm_bytes == 200
+
+    def test_speedup_and_efficiency(self):
+        ours = CostBreakdown(compute_time_s=1.0, compute_energy_j=1.0)
+        baseline = CostBreakdown(compute_time_s=4.0, compute_energy_j=8.0)
+        assert ours.speedup_over(baseline) == pytest.approx(4.0)
+        assert ours.energy_efficiency_over(baseline) == pytest.approx(8.0)
+
+    def test_speedup_zero_time(self):
+        with pytest.raises(ZeroDivisionError):
+            CostBreakdown().speedup_over(CostBreakdown(compute_time_s=1.0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostBreakdown(compute_time_s=-1.0)
+        with pytest.raises(ValueError):
+            CostBreakdown().add_compute(-1.0, 0.0)

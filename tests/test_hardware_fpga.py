@@ -1,0 +1,120 @@
+"""Unit tests for the FPGA design model (Sec. V)."""
+
+import pytest
+
+from repro.hardware.fpga import KC705, FPGADesign, FPGAResources
+
+
+@pytest.fixture()
+def central():
+    """Centralized design: full feature width, D=4000."""
+    return FPGADesign(n_features=312, dimension=4000, n_classes=3,
+                      sparsity=0.8, n_dsp=840)
+
+
+@pytest.fixture()
+def node():
+    """Per-node design: a PECAN-style small node."""
+    return FPGADesign(n_features=25, dimension=320, n_classes=3,
+                      sparsity=0.8, n_dsp=16)
+
+
+class TestResources:
+    def test_kc705_budget(self):
+        assert KC705.n_dsp == 840
+        assert KC705.bram_kbits > 16_000
+
+    def test_central_design_fits_kc705(self, central):
+        assert central.fits()
+
+    def test_node_design_fits(self, node):
+        assert node.fits()
+
+    def test_oversized_design_rejected(self):
+        tiny = FPGAResources("tiny", n_dsp=4, bram_kbits=100, luts=1000)
+        design = FPGADesign(1000, 8000, 10, n_dsp=840, part=tiny)
+        assert not design.fits()
+
+    def test_weight_storage_grows_with_density(self):
+        sparse = FPGADesign(100, 1000, 2, sparsity=0.9)
+        dense = FPGADesign(100, 1000, 2, sparsity=0.1)
+        assert sparse.weight_storage_kbits() < dense.weight_storage_kbits()
+
+    def test_invalid_resources(self):
+        with pytest.raises(ValueError):
+            FPGAResources("bad", 0, 100, 100)
+
+
+class TestCycles:
+    def test_encoding_scales_with_samples(self, node):
+        assert node.encoding_cycles(10) == pytest.approx(
+            10 * node.encoding_cycles(1), rel=0.01
+        )
+
+    def test_sparsity_cuts_encoding_cycles(self):
+        dense = FPGADesign(100, 1000, 2, sparsity=0.0, n_dsp=64)
+        sparse = FPGADesign(100, 1000, 2, sparsity=0.8, n_dsp=64)
+        assert sparse.encoding_cycles(1) < dense.encoding_cycles(1)
+
+    def test_more_dsps_fewer_cycles(self):
+        few = FPGADesign(100, 1000, 2, n_dsp=8)
+        many = FPGADesign(100, 1000, 2, n_dsp=512)
+        assert many.encoding_cycles(1) < few.encoding_cycles(1)
+
+    def test_search_scales_with_classes(self):
+        k2 = FPGADesign(10, 1000, 2, n_dsp=64)
+        k10 = FPGADesign(10, 1000, 10, n_dsp=64)
+        assert k10.search_cycles(1) > k2.search_cycles(1)
+
+    def test_unified_update_independent_of_feedback_count(self, node):
+        """Fig. 6C/E: applying residuals costs K*D regardless of how
+        many feedback events were accumulated."""
+        assert node.model_update_cycles(1) == node.model_update_cycles(1)
+
+    def test_training_includes_all_stages(self, node):
+        total = node.training_cycles(100, epochs=5)
+        assert total > node.encoding_cycles(100)
+        assert total > 5 * node.search_cycles(100)
+
+    def test_inference_cycles(self, node):
+        assert node.inference_cycles(10) == (
+            node.encoding_cycles(10) + node.search_cycles(10)
+        )
+
+    def test_negative_inputs(self, node):
+        with pytest.raises(ValueError):
+            node.encoding_cycles(-1)
+        with pytest.raises(ValueError):
+            node.search_cycles(-1)
+        with pytest.raises(ValueError):
+            node.training_cycles(10, epochs=-1)
+
+
+class TestPowerEnergy:
+    def test_node_power_near_paper(self, node):
+        """Per-node instance lands in the 0.28 W class (Sec. VI-D)."""
+        assert 0.1 < node.power_w() < 0.6
+
+    def test_central_power_near_paper(self, central):
+        """Centralized instance lands in the 9.8 W class."""
+        assert 8.0 < central.power_w() < 12.0
+
+    def test_energy_consistent(self, node):
+        cycles = node.inference_cycles(100)
+        assert node.energy_j(cycles) == pytest.approx(
+            node.seconds(cycles) * node.power_w()
+        )
+
+    def test_seconds_negative(self, node):
+        with pytest.raises(ValueError):
+            node.seconds(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            FPGADesign(0, 100, 2)
+        with pytest.raises(ValueError):
+            FPGADesign(10, 100, 2, sparsity=1.0)
+        with pytest.raises(ValueError):
+            FPGADesign(10, 100, 2, n_dsp=0)
+        with pytest.raises(ValueError):
+            FPGADesign(10, 100, 2, clock_hz=0)

@@ -1,0 +1,115 @@
+"""Unit tests for workload op counting."""
+
+import pytest
+
+from repro.hardware.ops import (
+    OpCounts,
+    compression_ops,
+    dnn_inference_ops,
+    dnn_training_ops,
+    encoding_ops,
+    hd_inference_ops,
+    hd_initial_training_ops,
+    hd_retrain_ops,
+    projection_ops,
+)
+
+
+class TestOpCounts:
+    def test_add(self):
+        a = OpCounts(macs=1, adds=2, nonlinear=3, memory_bytes=4)
+        b = OpCounts(macs=10, adds=20, nonlinear=30, memory_bytes=40)
+        c = a + b
+        assert (c.macs, c.adds, c.nonlinear, c.memory_bytes) == (11, 22, 33, 44)
+
+    def test_scale(self):
+        a = OpCounts(macs=2, adds=4).scale(2.5)
+        assert a.macs == 5 and a.adds == 10
+
+    def test_scale_negative(self):
+        with pytest.raises(ValueError):
+            OpCounts(macs=1).scale(-1)
+
+    def test_total_ops(self):
+        assert OpCounts(macs=1, adds=2, nonlinear=3).total_ops == 6
+
+
+class TestEncodingOps:
+    def test_dense(self):
+        ops = encoding_ops(10, 20, 100)
+        assert ops.macs == 10 * 20 * 100
+        assert ops.nonlinear == 10 * 100
+
+    def test_sparsity_reduces_macs(self):
+        dense = encoding_ops(10, 100, 1000, sparsity=0.0)
+        sparse = encoding_ops(10, 100, 1000, sparsity=0.8)
+        assert sparse.macs == pytest.approx(dense.macs * 0.2)
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ValueError):
+            encoding_ops(1, 1, 1, sparsity=1.5)
+
+    def test_negative_inputs(self):
+        with pytest.raises(ValueError):
+            encoding_ops(-1, 10, 10)
+
+
+class TestHDOps:
+    def test_initial_training_adds_only(self):
+        ops = hd_initial_training_ops(100, 4000)
+        assert ops.macs == 0
+        assert ops.adds == 400_000
+
+    def test_retrain_scales_with_epochs(self):
+        one = hd_retrain_ops(100, 1000, 5, epochs=1)
+        ten = hd_retrain_ops(100, 1000, 5, epochs=10)
+        assert ten.adds == pytest.approx(10 * one.adds)
+
+    def test_inference_no_multiplies(self):
+        """Sec. V-B: binary queries eliminate multiplications."""
+        ops = hd_inference_ops(10, 4000, 5)
+        assert ops.macs == 0
+        assert ops.adds == 10 * 5 * 4000
+
+    def test_retrain_invalid_rate(self):
+        with pytest.raises(ValueError):
+            hd_retrain_ops(10, 10, 2, 1, misclassification_rate=2.0)
+
+
+class TestProjectionCompression:
+    def test_projection_density(self):
+        full = projection_ops(1, 100, 100, density=1.0)
+        sparse = projection_ops(1, 100, 100, density=0.5)
+        assert sparse.adds == pytest.approx(full.adds / 2)
+
+    def test_projection_invalid_density(self):
+        with pytest.raises(ValueError):
+            projection_ops(1, 10, 10, density=0.0)
+
+    def test_compression_linear_in_count(self):
+        a = compression_ops(5, 1000)
+        b = compression_ops(10, 1000)
+        assert b.macs == 2 * a.macs
+
+
+class TestDNNOps:
+    def test_training_three_x_forward(self):
+        fwd = dnn_inference_ops(100, 50, [64], 10)
+        train = dnn_training_ops(100, 50, [64], 10, epochs=1)
+        assert train.macs == pytest.approx(3 * fwd.macs)
+
+    def test_training_scales_with_epochs(self):
+        one = dnn_training_ops(10, 8, [16], 2, epochs=1)
+        five = dnn_training_ops(10, 8, [16], 2, epochs=5)
+        assert five.macs == pytest.approx(5 * one.macs)
+
+    def test_dnn_heavier_than_hd_inference(self):
+        """The Fig. 10 premise: HD inference is cheaper than a DNN's."""
+        hd = hd_inference_ops(1000, 4000, 5) + encoding_ops(1000, 75, 4000, 0.8)
+        dnn = dnn_inference_ops(1000, 75, [512, 256], 5)
+        # HD does adds; DNN does MACs — compare total op counts.
+        assert dnn.macs > hd.macs
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            dnn_training_ops(-1, 8, [16], 2, 1)

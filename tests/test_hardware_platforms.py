@@ -1,0 +1,86 @@
+"""Unit tests for platform cost models and their paper calibration."""
+
+import pytest
+
+from repro.hardware.ops import (
+    OpCounts,
+    encoding_ops,
+    hd_inference_ops,
+    hd_retrain_ops,
+)
+from repro.hardware.platforms import (
+    FPGA_KINTEX7_CENTRAL,
+    FPGA_NODE,
+    GPU_GTX1080TI,
+    PLATFORMS,
+    RASPBERRY_PI_3B,
+    Platform,
+)
+
+
+def hd_training_workload(n=10_000, feats=75, dim=4000, k=5):
+    return (
+        encoding_ops(n, feats, dim, sparsity=0.8)
+        + hd_retrain_ops(n, dim, k, epochs=20)
+    )
+
+
+class TestPlatform:
+    def test_execution_time_positive(self):
+        ops = OpCounts(macs=1e9, adds=1e9, nonlinear=1e6, memory_bytes=1e6)
+        for platform in PLATFORMS.values():
+            assert platform.execution_time(ops) > 0
+
+    def test_energy_is_time_times_power(self):
+        ops = OpCounts(macs=1e9)
+        t = GPU_GTX1080TI.execution_time(ops)
+        assert GPU_GTX1080TI.energy(ops) == pytest.approx(t * 250.0)
+
+    def test_roofline_memory_bound(self):
+        """Huge memory traffic with few ops hits the bandwidth roof."""
+        ops = OpCounts(macs=1.0, memory_bytes=1e12)
+        p = GPU_GTX1080TI
+        assert p.execution_time(ops) == pytest.approx(1e12 / p.memory_bandwidth)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Platform("bad", 0.0, 1.0, 1.0, 1.0, 1.0)
+
+
+class TestPaperCalibration:
+    def test_gpu_faster_than_central_fpga_on_hd(self):
+        """Sec. VI-D: HD-FPGA is slower than HD-GPU."""
+        ops = hd_training_workload()
+        assert GPU_GTX1080TI.execution_time(ops) < FPGA_KINTEX7_CENTRAL.execution_time(ops)
+
+    def test_central_fpga_about_3x_energy_efficient_vs_gpu(self):
+        """Sec. VI-D: ~3.0x energy saving of HD-FPGA over HD-GPU
+        (direction and order of magnitude)."""
+        ops = hd_training_workload()
+        ratio = GPU_GTX1080TI.energy(ops) / FPGA_KINTEX7_CENTRAL.energy(ops)
+        assert 1.5 < ratio < 12.0
+
+    def test_node_fpga_power(self):
+        """Sec. VI-D: per-node FPGA draws ~0.28 W."""
+        assert FPGA_NODE.power_w == pytest.approx(0.28)
+
+    def test_central_fpga_power(self):
+        """Sec. VI-D: centralized FPGA draws ~9.8 W."""
+        assert FPGA_KINTEX7_CENTRAL.power_w == pytest.approx(9.8)
+
+    def test_node_fpga_lowest_power(self):
+        assert FPGA_NODE.power_w == min(p.power_w for p in PLATFORMS.values())
+
+    def test_node_fpga_beats_rpi_on_energy_for_hd(self):
+        """The FPGA accelerator is the efficient choice per node."""
+        ops = hd_inference_ops(1000, 400, 5) + encoding_ops(1000, 25, 400, 0.8)
+        assert FPGA_NODE.energy(ops) < RASPBERRY_PI_3B.energy(ops)
+
+    def test_registry_names(self):
+        assert set(PLATFORMS) == {
+            "gpu-gtx1080ti",
+            "fpga-kintex7-central",
+            "fpga-node",
+            "raspberry-pi-3b+",
+            "server-cpu-i7-8700k",
+        }

@@ -1,0 +1,97 @@
+"""Unit tests for federation checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.config import EdgeHDConfig
+from repro.data import load_dataset, partition_features
+from repro.hierarchy.checkpoint import (
+    CheckpointError,
+    load_federation,
+    save_federation,
+)
+from repro.hierarchy.federation import EdgeHDFederation
+from repro.hierarchy.topology import build_star, build_tree
+
+
+@pytest.fixture(scope="module")
+def trained():
+    data = load_dataset("PDP", scale=0.04, max_train=500, max_test=200, seed=19)
+    partition = partition_features(data.n_features, 5)
+    config = EdgeHDConfig(dimension=768, batch_size=10, retrain_epochs=4, seed=37)
+    federation = EdgeHDFederation(build_tree(5), partition, data.n_classes, config)
+    federation.fit_offline(data.train_x, data.train_y)
+    return data, partition, config, federation
+
+
+def fresh(data, partition, config, topology=None):
+    return EdgeHDFederation(
+        topology or build_tree(5), partition, data.n_classes, config
+    )
+
+
+class TestRoundtrip:
+    def test_restores_exact_models(self, trained, tmp_path):
+        data, partition, config, federation = trained
+        path = tmp_path / "fed.npz"
+        save_federation(federation, path)
+        restored = load_federation(fresh(data, partition, config), path)
+        for nid in federation.hierarchy.nodes:
+            assert np.array_equal(
+                restored.classifiers[nid].class_hypervectors,
+                federation.classifiers[nid].class_hypervectors,
+            )
+
+    def test_restored_accuracy_identical(self, trained, tmp_path):
+        data, partition, config, federation = trained
+        path = tmp_path / "fed.npz"
+        save_federation(federation, path)
+        restored = load_federation(fresh(data, partition, config), path)
+        original = federation.accuracy_by_level(data.test_x, data.test_y)
+        reloaded = restored.accuracy_by_level(data.test_x, data.test_y)
+        assert original == reloaded
+
+    def test_untrained_save_rejected(self, trained, tmp_path):
+        data, partition, config, _ = trained
+        with pytest.raises(RuntimeError):
+            save_federation(fresh(data, partition, config), tmp_path / "x.npz")
+
+
+class TestValidation:
+    def test_missing_file(self, trained, tmp_path):
+        data, partition, config, _ = trained
+        with pytest.raises(FileNotFoundError):
+            load_federation(fresh(data, partition, config), tmp_path / "nope.npz")
+
+    def test_topology_mismatch_rejected(self, trained, tmp_path):
+        data, partition, config, federation = trained
+        path = tmp_path / "fed.npz"
+        save_federation(federation, path)
+        other = fresh(data, partition, config, topology=build_star(5))
+        # STAR differs in node count (and depth); either is caught.
+        with pytest.raises(CheckpointError, match="n_nodes|depth"):
+            load_federation(other, path)
+
+    def test_config_mismatch_rejected(self, trained, tmp_path):
+        data, partition, config, federation = trained
+        path = tmp_path / "fed.npz"
+        save_federation(federation, path)
+        other_config = config.with_overrides(seed=99)
+        with pytest.raises(CheckpointError, match="seed"):
+            load_federation(fresh(data, partition, other_config), path)
+
+    def test_dimension_mismatch_rejected(self, trained, tmp_path):
+        data, partition, config, federation = trained
+        path = tmp_path / "fed.npz"
+        save_federation(federation, path)
+        small = config.with_overrides(dimension=512)
+        with pytest.raises(CheckpointError):
+            load_federation(fresh(data, partition, small), path)
+
+    def test_corrupt_metadata_rejected(self, trained, tmp_path):
+        data, partition, config, federation = trained
+        path = tmp_path / "fed.npz"
+        # Write an npz without the meta block.
+        np.savez_compressed(str(path), node_0=np.ones((2, 4)))
+        with pytest.raises(CheckpointError, match="metadata"):
+            load_federation(fresh(data, partition, config), path)

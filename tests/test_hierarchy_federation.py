@@ -1,0 +1,217 @@
+"""Unit + integration tests for federated (hierarchical) training."""
+
+import numpy as np
+import pytest
+
+from repro.config import EdgeHDConfig
+from repro.data import partition_features
+from repro.hierarchy.federation import EdgeHDFederation, batch_groups
+from repro.hierarchy.topology import build_star, build_tree
+from repro.network.message import MessageKind
+
+
+class TestBatchGroups:
+    def test_covers_all_samples_once(self):
+        y = np.array([0, 1, 0, 1, 0, 0, 1, 2])
+        groups = batch_groups(y, batch_size=2)
+        seen = np.concatenate([idx for _, idx in groups])
+        assert sorted(seen.tolist()) == list(range(8))
+
+    def test_batches_are_class_pure(self):
+        y = np.array([0, 1, 0, 1, 0, 0, 1, 2])
+        for cls, idx in batch_groups(y, batch_size=3):
+            assert np.all(y[idx] == cls)
+
+    def test_batch_sizes(self):
+        y = np.zeros(10, dtype=int)
+        groups = batch_groups(y, batch_size=4)
+        assert [len(idx) for _, idx in groups] == [4, 4, 2]
+
+    def test_b1_gives_per_sample(self):
+        y = np.array([0, 1, 1])
+        assert len(batch_groups(y, batch_size=1)) == 3
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            batch_groups(np.array([0, 1]), 0)
+
+    def test_deterministic_pure_function(self):
+        y = np.array([1, 0, 2, 1, 0])
+        a = batch_groups(y, 2)
+        b = batch_groups(y, 2)
+        assert all(
+            ca == cb and np.array_equal(ia, ib)
+            for (ca, ia), (cb, ib) in zip(a, b)
+        )
+
+
+class TestConstruction:
+    def test_partition_leaf_mismatch(self, apri_small, small_config):
+        part = partition_features(apri_small.n_features, 4)
+        with pytest.raises(ValueError):
+            EdgeHDFederation(build_tree(3), part, 2, small_config)
+
+    def test_invalid_classes(self, apri_small, small_config):
+        part = partition_features(apri_small.n_features, 3)
+        with pytest.raises(ValueError):
+            EdgeHDFederation(build_tree(3), part, 1, small_config)
+
+    def test_leaf_dimensions_proportional(self, trained_federation):
+        fed, _, _ = trained_federation
+        for leaf in fed.hierarchy.leaves():
+            node = fed.hierarchy.nodes[leaf]
+            n_local = len(fed.partition.columns(node.leaf_index))
+            expected = round(fed.config.dimension * n_local / fed.partition.n_features)
+            assert abs(node.dimension - expected) <= 8
+
+    def test_every_node_has_artifacts(self, trained_federation):
+        fed, _, _ = trained_federation
+        for nid, node in fed.hierarchy.nodes.items():
+            assert nid in fed.classifiers
+            if node.is_leaf:
+                assert nid in fed.encoders
+            else:
+                assert nid in fed.projections
+
+
+class TestEncoding:
+    def test_encode_leaf_uses_local_columns(self, trained_federation):
+        fed, _, data = trained_federation
+        leaf = fed.hierarchy.leaves()[0]
+        enc = fed.encode_leaf(leaf, data.test_x[:4])
+        assert enc.shape == (4, fed.hierarchy.nodes[leaf].dimension)
+
+    def test_encode_leaf_on_internal_raises(self, trained_federation):
+        fed, _, data = trained_federation
+        with pytest.raises(ValueError):
+            fed.encode_leaf(fed.root_id, data.test_x[:1])
+
+    def test_encode_all_shapes(self, trained_federation):
+        fed, _, data = trained_federation
+        encodings = fed.encode_all(data.test_x[:5])
+        assert set(encodings) == set(fed.hierarchy.nodes)
+        for nid, enc in encodings.items():
+            assert enc.shape == (5, fed.hierarchy.nodes[nid].dimension)
+
+    def test_forward_view_is_bipolar(self, trained_federation):
+        fed, _, data = trained_federation
+        forwards = fed.encode_all(data.test_x[:3], view="forward")
+        for enc in forwards.values():
+            assert set(np.unique(enc)) <= {-1, 1}
+
+    def test_own_view_matches_encode_at(self, trained_federation):
+        fed, _, data = trained_federation
+        encodings = fed.encode_all(data.test_x[:3])
+        root_enc = fed.encode_at(fed.root_id, data.test_x[:3])
+        assert np.allclose(encodings[fed.root_id], root_enc)
+
+    def test_invalid_view(self, trained_federation):
+        fed, _, data = trained_federation
+        with pytest.raises(ValueError):
+            fed.encode_all(data.test_x[:1], view="sideways")
+        with pytest.raises(ValueError):
+            fed.encode_at(fed.root_id, data.test_x[:1], view="sideways")
+
+    def test_encode_at_unknown_node(self, trained_federation):
+        fed, _, data = trained_federation
+        with pytest.raises(KeyError):
+            fed.encode_at(999, data.test_x[:1])
+
+    def test_combine_children_count_check(self, trained_federation):
+        fed, _, _ = trained_federation
+        root = fed.root_id
+        with pytest.raises(ValueError):
+            fed.combine_children(root, [np.ones(4)])
+
+    def test_combine_children_on_leaf_raises(self, trained_federation):
+        fed, _, _ = trained_federation
+        with pytest.raises(ValueError):
+            fed.combine_children(fed.hierarchy.leaves()[0], [])
+
+
+class TestOfflineTraining:
+    def test_all_nodes_trained(self, trained_federation):
+        fed, report, _ = trained_federation
+        for clf in fed.classifiers.values():
+            assert clf.class_hypervectors is not None
+
+    def test_messages_only_child_to_parent(self, trained_federation):
+        fed, report, _ = trained_federation
+        for msg in report.messages:
+            assert fed.hierarchy.nodes[msg.source].parent == msg.destination
+
+    def test_message_kinds(self, trained_federation):
+        _, report, _ = trained_federation
+        kinds = {m.kind for m in report.messages}
+        assert kinds == {MessageKind.CLASS_MODEL, MessageKind.BATCH_HYPERVECTORS}
+
+    def test_every_non_root_sends_model(self, trained_federation):
+        fed, report, _ = trained_federation
+        senders = {
+            m.source for m in report.messages if m.kind == MessageKind.CLASS_MODEL
+        }
+        non_root = set(fed.hierarchy.nodes) - {fed.root_id}
+        assert senders == non_root
+
+    def test_bytes_by_kind_sums_to_total(self, trained_federation):
+        _, report, _ = trained_federation
+        assert sum(report.bytes_by_kind().values()) == report.total_bytes
+
+    def test_training_much_cheaper_than_raw_upload(self, trained_federation):
+        from repro.baselines.centralized import centralized_upload_messages
+
+        fed, report, data = trained_federation
+        raw = centralized_upload_messages(
+            fed.hierarchy, fed.partition, data.n_train
+        )
+        raw_bytes = sum(m.payload_bytes for m in raw)
+        assert report.total_bytes < raw_bytes
+
+    def test_accuracy_by_level_trend(self, trained_federation):
+        """End nodes < central node on the heterogeneous-feature data."""
+        fed, _, data = trained_federation
+        by_level = fed.accuracy_by_level(data.test_x, data.test_y)
+        assert set(by_level) == {1, 2, 3}
+        assert by_level[3] > by_level[1]
+
+    def test_root_beats_chance_clearly(self, trained_federation):
+        fed, _, data = trained_federation
+        acc = fed.accuracy_at(fed.root_id, data.test_x, data.test_y)
+        assert acc > 1.0 / data.n_classes + 0.2
+
+    def test_sample_label_mismatch(self, apri_small, small_config):
+        part = partition_features(apri_small.n_features, 3)
+        fed = EdgeHDFederation(build_tree(3), part, 2, small_config)
+        with pytest.raises(ValueError):
+            fed.fit_offline(apri_small.train_x, apri_small.train_y[:-1])
+
+    def test_star_topology_trains(self, apri_small, small_config):
+        part = partition_features(apri_small.n_features, 3)
+        fed = EdgeHDFederation(build_star(3), part, apri_small.n_classes, small_config)
+        fed.fit_offline(apri_small.train_x, apri_small.train_y)
+        acc = fed.accuracy_at(fed.root_id, apri_small.test_x, apri_small.test_y)
+        assert acc > 0.5
+
+    def test_non_holographic_mode(self, apri_small, small_config):
+        part = partition_features(apri_small.n_features, 3)
+        fed = EdgeHDFederation(
+            build_tree(3), part, apri_small.n_classes, small_config,
+            holographic=False,
+        )
+        assert all(p is None for p in fed.projections.values())
+        fed.fit_offline(apri_small.train_x, apri_small.train_y)
+        acc = fed.accuracy_at(fed.root_id, apri_small.test_x, apri_small.test_y)
+        assert acc > 0.5
+
+    def test_deterministic_training(self, apri_small, small_config):
+        part = partition_features(apri_small.n_features, 3)
+        accs = []
+        for _ in range(2):
+            fed = EdgeHDFederation(
+                build_tree(3), part, apri_small.n_classes, small_config
+            )
+            fed.fit_offline(apri_small.train_x, apri_small.train_y)
+            accs.append(
+                fed.accuracy_at(fed.root_id, apri_small.test_x, apri_small.test_y)
+            )
+        assert accs[0] == accs[1]

@@ -1,0 +1,165 @@
+"""Unit + integration tests for escalation-based hierarchical inference."""
+
+import numpy as np
+import pytest
+
+from repro.hierarchy.inference import HierarchicalInference
+from repro.network.message import MessageKind
+
+
+@pytest.fixture()
+def inference(trained_federation):
+    fed, _, data = trained_federation
+    return HierarchicalInference(fed), fed, data
+
+
+class TestRun:
+    def test_outcome_shapes(self, inference):
+        inf, fed, data = inference
+        outcome = inf.run(data.test_x)
+        n = data.n_test
+        assert outcome.labels.shape == (n,)
+        assert outcome.deciding_node.shape == (n,)
+        assert outcome.deciding_level.shape == (n,)
+        assert outcome.confidence.shape == (n,)
+
+    def test_deciding_nodes_exist(self, inference):
+        inf, fed, data = inference
+        outcome = inf.run(data.test_x)
+        assert set(outcome.deciding_node.tolist()) <= set(fed.hierarchy.nodes)
+
+    def test_confident_answers_stay_local(self, inference):
+        """Queries answered below the root must clear the threshold."""
+        inf, fed, data = inference
+        outcome = inf.run(data.test_x)
+        below_root = outcome.deciding_level < fed.hierarchy.depth
+        assert np.all(
+            outcome.confidence[below_root] >= inf.confidence_threshold
+        )
+
+    def test_threshold_zero_all_local(self, inference):
+        inf, fed, data = inference
+        local = HierarchicalInference(fed, confidence_threshold=0.0)
+        outcome = local.run(data.test_x)
+        assert np.all(outcome.deciding_level == 1)
+        assert outcome.total_bytes == 0
+        assert outcome.messages == []
+
+    def test_threshold_one_all_central(self, inference):
+        inf, fed, data = inference
+        central = HierarchicalInference(fed, confidence_threshold=1.0)
+        outcome = central.run(data.test_x)
+        assert np.all(outcome.deciding_level == fed.hierarchy.depth)
+
+    def test_max_level_caps_escalation(self, inference):
+        inf, fed, data = inference
+        capped = HierarchicalInference(fed, confidence_threshold=1.0)
+        outcome = capped.run(data.test_x, max_level=2)
+        assert outcome.deciding_level.max() <= 2
+
+    def test_higher_threshold_more_escalation(self, inference):
+        inf, fed, data = inference
+        low = HierarchicalInference(fed, confidence_threshold=0.4).run(data.test_x)
+        high = HierarchicalInference(fed, confidence_threshold=0.95).run(data.test_x)
+        assert high.deciding_level.mean() >= low.deciding_level.mean()
+        assert high.total_bytes >= low.total_bytes
+
+    def test_start_leaves_respected(self, inference):
+        inf, fed, data = inference
+        leaf = fed.hierarchy.leaves()[1]
+        starts = np.full(data.n_test, leaf)
+        outcome = inf.run(data.test_x, start_leaves=starts)
+        # Every decision lies on that leaf's path to the root.
+        path = set(fed.hierarchy.path_to_root(leaf))
+        assert set(outcome.deciding_node.tolist()) <= path
+
+    def test_start_leaves_validation(self, inference):
+        inf, fed, data = inference
+        with pytest.raises(ValueError):
+            inf.run(data.test_x, start_leaves=np.array([1]))
+        bad = np.full(data.n_test, fed.root_id)
+        with pytest.raises(ValueError):
+            inf.run(data.test_x, start_leaves=bad)
+
+    def test_deterministic_given_seed(self, inference):
+        inf, fed, data = inference
+        a = inf.run(data.test_x, seed=5)
+        b = inf.run(data.test_x, seed=5)
+        assert np.array_equal(a.labels, b.labels)
+        assert np.array_equal(a.deciding_node, b.deciding_node)
+
+
+class TestCommunication:
+    def test_escalation_messages_compressed(self, inference):
+        inf, fed, data = inference
+        outcome = HierarchicalInference(fed, confidence_threshold=1.0).run(
+            data.test_x
+        )
+        kinds = {m.kind for m in outcome.messages}
+        assert MessageKind.COMPRESSED_QUERY in kinds
+        assert MessageKind.PREDICTION in kinds
+
+    def test_compression_reduces_bytes(self, inference):
+        inf, fed, data = inference
+        uncompressed = HierarchicalInference(
+            fed, confidence_threshold=1.0, compression_count=1
+        ).run(data.test_x)
+        compressed = HierarchicalInference(
+            fed, confidence_threshold=1.0, compression_count=25
+        ).run(data.test_x)
+        assert compressed.total_bytes < uncompressed.total_bytes
+
+    def test_level_frequency_sums_to_one(self, inference):
+        inf, fed, data = inference
+        outcome = inf.run(data.test_x)
+        freq = outcome.level_frequency(fed.hierarchy.depth)
+        assert sum(freq.values()) == pytest.approx(1.0)
+
+
+class TestEvaluate:
+    def test_accuracy_above_local(self, inference):
+        """Escalation should not hurt accuracy vs pure-local inference."""
+        inf, fed, data = inference
+        local_acc, _ = HierarchicalInference(
+            fed, confidence_threshold=0.0
+        ).evaluate(data.test_x, data.test_y)
+        esc_acc, _ = HierarchicalInference(
+            fed, confidence_threshold=0.9
+        ).evaluate(data.test_x, data.test_y)
+        assert esc_acc >= local_acc - 0.05
+
+    def test_accuracy_bounds(self, inference):
+        inf, fed, data = inference
+        acc, outcome = inf.evaluate(data.test_x, data.test_y)
+        assert 0.0 <= acc <= 1.0
+        assert acc == outcome.accuracy(data.test_y)
+
+    def test_label_shape_mismatch(self, inference):
+        inf, fed, data = inference
+        outcome = inf.run(data.test_x)
+        with pytest.raises(ValueError):
+            outcome.accuracy(data.test_y[:-1])
+
+
+class TestValidation:
+    def test_invalid_threshold(self, trained_federation):
+        fed, _, _ = trained_federation
+        with pytest.raises(ValueError):
+            HierarchicalInference(fed, confidence_threshold=1.5)
+
+    def test_invalid_compression(self, trained_federation):
+        fed, _, _ = trained_federation
+        with pytest.raises(ValueError):
+            HierarchicalInference(fed, compression_count=0)
+
+    def test_invalid_max_level(self, inference):
+        inf, fed, data = inference
+        with pytest.raises(ValueError):
+            inf.run(data.test_x, max_level=0)
+
+    def test_empty_outcome_frequency_raises(self, inference):
+        inf, fed, data = inference
+        outcome = inf.run(data.test_x[:1])
+        outcome.labels = np.empty(0, dtype=np.int64)
+        with pytest.raises(ValueError):
+            outcome.level_frequency(3)

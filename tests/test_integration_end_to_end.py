@@ -1,0 +1,168 @@
+"""End-to-end integration tests spanning every subsystem.
+
+Each test exercises a realistic pipeline: data generation, federated
+training, network replay, inference with escalation, online updates,
+and failure injection — the paths a downstream user would actually run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import EdgeHDConfig
+from repro.data import load_dataset, partition_features
+from repro.hierarchy import (
+    EdgeHDFederation,
+    HierarchicalInference,
+    OnlineLearner,
+    OnlineSession,
+    build_star,
+    build_tree,
+)
+from repro.network import MEDIA, FailureModel, NetworkSimulator
+from repro.network.message import MessageKind
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """A fully trained PDP federation with its training report."""
+    data = load_dataset("PDP", scale=0.08, max_train=900, max_test=300, seed=3)
+    partition = partition_features(data.n_features, 5)
+    config = EdgeHDConfig(
+        dimension=1500, batch_size=10, retrain_epochs=8, seed=29
+    )
+    federation = EdgeHDFederation(
+        build_tree(5), partition, data.n_classes, config
+    )
+    report = federation.fit_offline(data.train_x, data.train_y)
+    return data, federation, report
+
+
+class TestTrainReplayInfer:
+    def test_training_messages_replay_on_every_medium(self, pipeline):
+        data, federation, report = pipeline
+        previous = 0.0
+        for name in ("wired-1gbps", "wifi-802.11ac", "bluetooth-4.0"):
+            sim = NetworkSimulator(federation.hierarchy, MEDIA[name])
+            result = sim.simulate_upward_pass(report.messages)
+            assert result.delivered == len(report.messages)
+            assert result.makespan_s > previous  # slower media take longer
+            previous = result.makespan_s
+
+    def test_escalation_traffic_replays(self, pipeline):
+        data, federation, report = pipeline
+        inference = HierarchicalInference(federation, confidence_threshold=0.9)
+        _, outcome = inference.evaluate(data.test_x, data.test_y)
+        sim = NetworkSimulator(federation.hierarchy, MEDIA["wifi-802.11n"])
+        result = sim.simulate_independent(outcome.messages)
+        assert result.delivered == len(outcome.messages)
+        assert result.total_bytes == outcome.total_bytes
+
+    def test_inference_beats_each_partial_view(self, pipeline):
+        """Escalated inference should beat the average single end node."""
+        data, federation, report = pipeline
+        by_level = federation.accuracy_by_level(data.test_x, data.test_y)
+        inference = HierarchicalInference(federation, confidence_threshold=0.95)
+        accuracy, _ = inference.evaluate(data.test_x, data.test_y)
+        assert accuracy > by_level[1] - 0.02
+
+    def test_full_loop_with_lossy_network(self, pipeline):
+        data, federation, report = pipeline
+        sim = NetworkSimulator(
+            federation.hierarchy, MEDIA["wifi-802.11n"],
+            failure_model=FailureModel(0.2, seed=6), max_retries=8,
+        )
+        result = sim.simulate_upward_pass(report.messages)
+        assert result.delivered == len(report.messages)  # retries win
+        clean = NetworkSimulator(
+            federation.hierarchy, MEDIA["wifi-802.11n"]
+        ).simulate_upward_pass(report.messages)
+        assert result.energy_j > clean.energy_j
+
+
+class TestOnlineIntegration:
+    def test_paper_mode_full_loop(self, pipeline):
+        """Literal Sec. IV-D: deciding-node feedback, residuals
+        aggregated upward; messages appear and models change."""
+        import copy
+
+        data, federation, _ = pipeline
+        fed = copy.deepcopy(federation)
+        session = OnlineSession(
+            fed,
+            learner=OnlineLearner(fed, feedback_includes_label=True),
+            feedback_mode="deciding",
+        )
+        half = data.n_train // 2
+        root_before = fed.classifiers[fed.root_id].class_hypervectors.copy()
+        metrics = session.run(
+            data.train_x[:half], data.train_y[:half],
+            data.test_x, data.test_y, n_steps=2,
+        )
+        assert len(metrics) == 3
+        residual_msgs = [
+            m for snap in metrics for m in snap.messages
+            if m.kind == MessageKind.RESIDUALS
+        ]
+        if metrics[-1].feedback_events > 0 or metrics[1].feedback_events > 0:
+            assert residual_msgs
+            assert not np.array_equal(
+                root_before, fed.classifiers[fed.root_id].class_hypervectors
+            )
+
+    def test_path_mode_full_loop(self, pipeline):
+        import copy
+
+        data, federation, _ = pipeline
+        fed = copy.deepcopy(federation)
+        session = OnlineSession(
+            fed,
+            learner=OnlineLearner(
+                fed, learning_rate=0.2, feedback_includes_label=True,
+                aggregate_children=False, normalize=True,
+            ),
+            feedback_mode="path",
+        )
+        half = data.n_train // 2
+        metrics = session.run(
+            data.train_x[:half], data.train_y[:half],
+            data.test_x, data.test_y, n_steps=2,
+        )
+        final = metrics[-1].central_accuracy
+        assert 0.0 <= final <= 1.0
+
+
+class TestStarVsTree:
+    def test_same_accuracy_different_comm(self):
+        """Topology changes communication, not learnability."""
+        data = load_dataset("APRI", scale=0.05, max_train=700, max_test=250, seed=4)
+        partition = partition_features(data.n_features, 3)
+        config = EdgeHDConfig(
+            dimension=1024, batch_size=10, retrain_epochs=6, seed=31
+        )
+        accs = {}
+        messages = {}
+        for name, topo in (("star", build_star(3)), ("tree", build_tree(3))):
+            fed = EdgeHDFederation(topo, partition, data.n_classes, config)
+            report = fed.fit_offline(data.train_x, data.train_y)
+            accs[name] = fed.accuracy_at(fed.root_id, data.test_x, data.test_y)
+            messages[name] = report.messages
+        assert abs(accs["star"] - accs["tree"]) < 0.15
+        # TREE relays through gateways -> more messages.
+        assert len(messages["tree"]) > len(messages["star"])
+
+
+class TestDeterminism:
+    def test_whole_pipeline_reproducible(self):
+        results = []
+        for _ in range(2):
+            data = load_dataset("PDP", scale=0.04, max_train=500, max_test=200, seed=11)
+            partition = partition_features(data.n_features, 5)
+            config = EdgeHDConfig(
+                dimension=768, batch_size=10, retrain_epochs=5, seed=23
+            )
+            fed = EdgeHDFederation(build_tree(5), partition, data.n_classes, config)
+            fed.fit_offline(data.train_x, data.train_y)
+            inference = HierarchicalInference(fed)
+            acc, outcome = inference.evaluate(data.test_x, data.test_y)
+            results.append((acc, outcome.total_bytes, tuple(outcome.labels)))
+        assert results[0] == results[1]

@@ -1,0 +1,98 @@
+"""Unit tests for failure injection (dimension loss, message drops)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypervector import random_bipolar
+from repro.network.failure import FailureModel, drop_dimensions, flip_dimensions
+from repro.network.message import Message, MessageKind
+
+
+class TestDropDimensions:
+    def test_fraction_zeroed(self):
+        hv = random_bipolar(1000, seed=1).astype(float)
+        damaged = drop_dimensions(hv, 0.3, seed=2)
+        assert np.mean(damaged == 0.0) == pytest.approx(0.3, abs=0.01)
+
+    def test_surviving_elements_unchanged(self):
+        hv = random_bipolar(1000, seed=3).astype(float)
+        damaged = drop_dimensions(hv, 0.5, seed=4)
+        alive = damaged != 0.0
+        assert np.array_equal(damaged[alive], hv[alive])
+
+    def test_zero_loss_identity(self):
+        hv = random_bipolar(100, seed=5).astype(float)
+        assert np.array_equal(drop_dimensions(hv, 0.0), hv)
+
+    def test_full_loss(self):
+        hv = random_bipolar(100, seed=6).astype(float)
+        assert np.all(drop_dimensions(hv, 1.0, seed=7) == 0.0)
+
+    def test_matrix_rows_damaged_independently(self):
+        mat = np.ones((50, 200))
+        damaged = drop_dimensions(mat, 0.5, seed=8)
+        patterns = {tuple(np.flatnonzero(row == 0)[:5]) for row in damaged}
+        assert len(patterns) > 1
+
+    def test_per_row_loss_exact(self):
+        mat = np.ones((10, 100))
+        damaged = drop_dimensions(mat, 0.25, seed=9)
+        for row in damaged:
+            assert np.sum(row == 0.0) == 25
+
+    def test_input_not_mutated(self):
+        hv = np.ones(50)
+        drop_dimensions(hv, 0.5, seed=10)
+        assert np.all(hv == 1.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            drop_dimensions(np.ones(4), 1.5)
+
+    def test_deterministic(self):
+        hv = random_bipolar(300, seed=11).astype(float)
+        a = drop_dimensions(hv, 0.4, seed=12)
+        b = drop_dimensions(hv, 0.4, seed=12)
+        assert np.array_equal(a, b)
+
+
+class TestFlipDimensions:
+    def test_fraction_flipped(self):
+        hv = np.ones(10_000)
+        flipped = flip_dimensions(hv, 0.3, seed=13)
+        assert np.mean(flipped == -1.0) == pytest.approx(0.3, abs=0.02)
+
+    def test_zero_fraction_identity(self):
+        hv = random_bipolar(100, seed=14).astype(float)
+        assert np.array_equal(flip_dimensions(hv, 0.0), hv)
+
+    def test_input_not_mutated(self):
+        hv = np.ones(50)
+        flip_dimensions(hv, 0.5, seed=15)
+        assert np.all(hv == 1.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            flip_dimensions(np.ones(4), -0.1)
+
+
+class TestFailureModel:
+    def test_zero_probability_never_drops(self):
+        model = FailureModel(0.0)
+        msg = Message(0, 1, MessageKind.QUERY, 100)
+        assert not any(model.message_dropped(msg) for _ in range(100))
+
+    def test_drop_rate_statistical(self):
+        model = FailureModel(0.3, seed=16)
+        msg = Message(0, 1, MessageKind.QUERY, 100)
+        drops = sum(model.message_dropped(msg) for _ in range(5000))
+        assert drops / 5000 == pytest.approx(0.3, abs=0.03)
+
+    def test_empty_message_never_dropped(self):
+        model = FailureModel(1.0, seed=17)
+        msg = Message(0, 1, MessageKind.CONTROL, 0)
+        assert not model.message_dropped(msg)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            FailureModel(1.5)

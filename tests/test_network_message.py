@@ -1,0 +1,31 @@
+"""Unit tests for message descriptors."""
+
+import pytest
+
+from repro.network.message import Message, MessageKind
+
+
+class TestMessage:
+    def test_construction(self):
+        m = Message(source=1, destination=2, kind=MessageKind.QUERY, payload_bytes=100)
+        assert m.payload_bytes == 100
+        assert m.sequence == 0
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Message(1, 2, MessageKind.QUERY, payload_bytes=-1)
+
+    def test_self_message_rejected(self):
+        with pytest.raises(ValueError):
+            Message(1, 1, MessageKind.QUERY, payload_bytes=10)
+
+    def test_frozen(self):
+        m = Message(1, 2, MessageKind.QUERY, 10)
+        with pytest.raises(AttributeError):
+            m.payload_bytes = 99
+
+    def test_kind_values(self):
+        assert MessageKind.RAW_DATA.value == "raw_data"
+        assert MessageKind.CLASS_MODEL.value == "class_model"
+        assert MessageKind.RESIDUALS.value == "residuals"
+        assert len(MessageKind) == 8

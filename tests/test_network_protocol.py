@@ -1,0 +1,115 @@
+"""Unit tests for the wire protocol (framing + serialization)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypervector import random_bipolar
+from repro.network.message import MessageKind
+from repro.network.protocol import (
+    Frame,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+
+
+class TestRoundtrip:
+    def test_query_frame(self):
+        queries = random_bipolar(512, count=7, seed=1)
+        frame = decode_frame(encode_frame(MessageKind.QUERY, queries))
+        assert frame.kind == MessageKind.QUERY
+        assert frame.rows == 7 and frame.dimension == 512
+        assert np.array_equal(frame.data, queries)
+
+    def test_single_vector_promoted(self):
+        hv = random_bipolar(64, seed=2)
+        frame = decode_frame(encode_frame(MessageKind.QUERY, hv))
+        assert frame.data.shape == (1, 64)
+
+    def test_class_model_frame_floats(self):
+        model = np.random.default_rng(3).standard_normal((5, 128)) * 100
+        frame = decode_frame(encode_frame(MessageKind.CLASS_MODEL, model))
+        assert frame.kind == MessageKind.CLASS_MODEL
+        assert np.allclose(frame.data, model, rtol=1e-5)
+
+    def test_compressed_query_narrow_ints(self):
+        rng = np.random.default_rng(4)
+        bundle = rng.integers(-25, 26, size=(2, 4000)).astype(float)
+        blob = encode_frame(MessageKind.COMPRESSED_QUERY, bundle, aux=25)
+        frame = decode_frame(blob)
+        assert frame.aux == 25
+        assert np.array_equal(frame.data, bundle)
+
+    def test_residual_frame(self):
+        residuals = np.random.default_rng(5).standard_normal((3, 32))
+        frame = decode_frame(encode_frame(MessageKind.RESIDUALS, residuals))
+        assert np.allclose(frame.data, residuals, atol=1e-5)
+
+
+class TestWireEfficiency:
+    def test_query_frames_pack_to_bits(self):
+        queries = random_bipolar(4000, count=10, seed=6)
+        blob = encode_frame(MessageKind.QUERY, queries)
+        # 10 rows x 500 bytes + small header.
+        assert len(blob) < 10 * 500 + 64
+
+    def test_compressed_bundle_smaller_than_queries(self):
+        queries = random_bipolar(4000, count=25, seed=7).astype(float)
+        raw = encode_frame(MessageKind.QUERY, queries)
+        bundle = queries.sum(axis=0)
+        packed = encode_frame(
+            MessageKind.COMPRESSED_QUERY, bundle, aux=25
+        )
+        assert len(packed) < len(raw) / 3
+
+
+class TestCorruptionDetection:
+    @pytest.fixture()
+    def blob(self):
+        return encode_frame(
+            MessageKind.QUERY, random_bipolar(256, count=3, seed=8)
+        )
+
+    def test_payload_flip_detected(self, blob):
+        corrupted = bytearray(blob)
+        corrupted[-1] ^= 0xFF
+        with pytest.raises(ProtocolError, match="checksum"):
+            decode_frame(bytes(corrupted))
+
+    def test_truncation_detected(self, blob):
+        with pytest.raises(ProtocolError):
+            decode_frame(blob[:-5])
+
+    def test_bad_magic(self, blob):
+        corrupted = b"XX" + blob[2:]
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_frame(corrupted)
+
+    def test_bad_version(self, blob):
+        corrupted = blob[:2] + b"\x7f" + blob[3:]
+        with pytest.raises(ProtocolError, match="version"):
+            decode_frame(corrupted)
+
+    def test_short_frame(self):
+        with pytest.raises(ProtocolError, match="short"):
+            decode_frame(b"\xed\x9d\x01")
+
+    def test_unknown_kind(self, blob):
+        corrupted = blob[:3] + b"\xfa" + blob[4:]
+        with pytest.raises(ProtocolError):
+            decode_frame(corrupted)
+
+
+class TestValidation:
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            encode_frame(MessageKind.QUERY, np.empty((1, 0)))
+
+    def test_aux_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_frame(MessageKind.QUERY, np.ones(4), aux=-1)
+
+    def test_frame_dataclass_properties(self):
+        frame = Frame(kind=MessageKind.QUERY, data=np.ones((2, 8)))
+        assert frame.rows == 2
+        assert frame.dimension == 8

@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) on the wire layer.
+
+Packing/unpacking and frame encode/decode must be exact inverses for
+every shape and value range — the deployment runtime depends on it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hypervector import random_bipolar
+from repro.core.packing import (
+    bits_for_cap,
+    pack_bipolar,
+    pack_floats,
+    pack_narrow_ints,
+    unpack_bipolar,
+    unpack_floats,
+    unpack_narrow_ints,
+)
+from repro.core.quantize import dequantize_model, quantize_model
+from repro.network.message import MessageKind
+from repro.network.protocol import decode_frame, encode_frame
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestPackingProperties:
+    @given(st.integers(min_value=1, max_value=2048), seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_bipolar_roundtrip(self, dim, seed):
+        hv = random_bipolar(dim, seed=seed)
+        assert np.array_equal(unpack_bipolar(pack_bipolar(hv), dim), hv)
+
+    @given(st.integers(min_value=1, max_value=2048), seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_bipolar_size_is_ceil_bits(self, dim, seed):
+        hv = random_bipolar(dim, seed=seed)
+        assert len(pack_bipolar(hv)) == (dim + 7) // 8
+
+    @given(
+        st.integers(min_value=1, max_value=512),
+        st.integers(min_value=1, max_value=200),
+        seeds,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_narrow_int_roundtrip(self, dim, cap, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(-cap, cap + 1, size=dim)
+        payload = pack_narrow_ints(values, cap)
+        assert np.array_equal(unpack_narrow_ints(payload, dim, cap), values)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_bits_for_cap_sufficient(self, cap):
+        width = bits_for_cap(cap)
+        assert 2**width >= 2 * cap + 1
+        assert 2 ** (width - 1) < 2 * cap + 1  # minimal
+
+    @given(st.integers(min_value=1, max_value=512), seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_float_roundtrip(self, dim, seed):
+        values = np.random.default_rng(seed).standard_normal(dim) * 100
+        recovered = unpack_floats(pack_floats(values), dim)
+        assert np.allclose(recovered, values, rtol=1e-5, atol=1e-4)
+
+
+class TestFrameProperties:
+    @given(
+        st.integers(min_value=1, max_value=256),
+        st.integers(min_value=1, max_value=8),
+        seeds,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_query_frame_roundtrip(self, dim, rows, seed):
+        data = random_bipolar(dim, count=rows, seed=seed)
+        frame = decode_frame(encode_frame(MessageKind.QUERY, data))
+        assert np.array_equal(frame.data, data)
+
+    @given(
+        st.integers(min_value=1, max_value=128),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=50),
+        seeds,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_compressed_frame_roundtrip(self, dim, rows, cap, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(-cap, cap + 1, size=(rows, dim)).astype(float)
+        frame = decode_frame(
+            encode_frame(MessageKind.COMPRESSED_QUERY, data, aux=cap)
+        )
+        assert np.array_equal(frame.data, data)
+
+    @given(st.integers(min_value=1, max_value=128), seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_any_single_byte_corruption_detected(self, dim, seed):
+        """Flipping any single payload byte must fail the CRC."""
+        from repro.network.protocol import ProtocolError, _HEADER
+
+        blob = encode_frame(
+            MessageKind.QUERY, random_bipolar(dim, seed=seed)
+        )
+        rng = np.random.default_rng(seed)
+        idx = int(rng.integers(_HEADER.size, len(blob)))
+        corrupted = bytearray(blob)
+        corrupted[idx] ^= 0x55
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(corrupted))
+
+
+class TestQuantizationProperties:
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=8, max_value=256),
+        st.integers(min_value=2, max_value=16),
+        seeds,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_error_bounded_by_half_step(self, n_classes, dim, bits, seed):
+        rng = np.random.default_rng(seed)
+        model = rng.standard_normal((n_classes, dim)) * 50
+        quantized = quantize_model(model, n_bits=bits)
+        restored = dequantize_model(quantized)
+        cap = 2 ** (bits - 1) - 1
+        for c in range(n_classes):
+            step = np.abs(model[c]).max() / cap
+            assert np.max(np.abs(restored[c] - model[c])) <= step / 2 + 1e-9
+
+    @given(st.integers(min_value=2, max_value=16), seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_codes_within_range(self, bits, seed):
+        model = np.random.default_rng(seed).standard_normal((3, 64))
+        quantized = quantize_model(model, n_bits=bits)
+        cap = 2 ** (bits - 1) - 1
+        assert quantized.codes.max() <= cap
+        assert quantized.codes.min() >= -cap
