@@ -31,7 +31,12 @@ Subpackages
     Synthetic stand-ins for the paper's nine datasets.
 ``repro.experiments``
     One module per paper table/figure, regenerating its rows/series.
+``repro.obs``
+    Opt-in observability: metrics registry, span tracing, JSONL trace
+    export (enable with ``REPRO_OBS=1`` or ``repro.obs.enable()``).
 """
+
+import logging as _logging
 
 from repro.config import DEFAULT_CONFIG, EdgeHDConfig
 from repro.core import EdgeHDModel, HDClassifier
@@ -45,6 +50,12 @@ from repro.hierarchy import (
 )
 
 __version__ = "1.0.0"
+
+# Library logging etiquette: every module logs under the ``repro.*``
+# namespace; the package root gets a NullHandler so importing repro
+# never prints anything unless the application opts in (e.g. the CLI's
+# -v flag or logging.basicConfig()).
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 __all__ = [
     "DEFAULT_CONFIG",

@@ -14,6 +14,18 @@ Subcommands
     List the Table-I dataset registry.
 ``report``
     Stitch saved benchmark reports into one markdown document.
+``stats``
+    Render the metrics registry dumped by an instrumented run.
+
+Observability
+-------------
+With ``REPRO_OBS=1`` (or a ``--trace`` flag, which implies it) the
+``train`` / ``federate`` / ``reproduce`` commands record metrics and
+spans (see :mod:`repro.obs`), dump the registry to
+``repro-obs-stats.json`` on exit, and — when ``--trace PATH`` is given
+— write the span trace as JSON lines to ``PATH``. ``repro stats``
+pretty-prints the dump. ``-v`` / ``-vv`` turn on INFO / DEBUG logging
+for the ``repro.*`` namespace.
 
 Examples
 --------
@@ -21,16 +33,21 @@ Examples
 
     python -m repro.cli datasets
     python -m repro.cli train --dataset ISOLET --dimension 2000
-    python -m repro.cli federate --dataset PDP --topology tree
-    python -m repro.cli reproduce --figure table2 --quick
+    python -m repro.cli -v federate --dataset PDP --topology tree
+    REPRO_OBS=1 python -m repro.cli federate --dataset PDP
+    python -m repro.cli stats
+    python -m repro.cli reproduce --figure table2 --quick --trace run.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
+from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
+import repro.obs as obs
 from repro.config import EdgeHDConfig
 from repro.core.model import EdgeHDModel
 from repro.data import DATASETS, dataset_names, load_dataset, partition_features
@@ -43,6 +60,23 @@ from repro.hierarchy import (
 )
 
 __all__ = ["main", "build_parser"]
+
+logger = logging.getLogger(__name__)
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Route ``repro.*`` diagnostics to stderr at the requested level."""
+    if verbosity <= 0:
+        return
+    level = logging.INFO if verbosity == 1 else logging.DEBUG
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
@@ -129,6 +163,19 @@ def _cmd_federate(args: argparse.Namespace) -> int:
         f"  escalating inference: accuracy {accuracy:.3f}, "
         f"{outcome.total_bytes / 1024:.1f} KiB escalation traffic"
     )
+    # Replay both phases over the chosen medium so the run also reports
+    # (and, under REPRO_OBS, records) network-level delivery counters.
+    from repro.network.medium import get_medium
+    from repro.network.simulator import NetworkSimulator
+
+    simulator = NetworkSimulator(hierarchy, get_medium(args.medium))
+    training = simulator.simulate_upward_pass(report.messages)
+    queries = simulator.simulate_independent(outcome.messages)
+    replay = training.merge(queries)
+    print(
+        f"  {args.medium} replay: {replay.makespan_s * 1e3:.1f} ms makespan, "
+        f"{replay.energy_j * 1e3:.2f} mJ, {replay.delivered} messages delivered"
+    )
     return 0
 
 
@@ -198,9 +245,33 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    source = Path(args.input) if args.input else obs.default_stats_path()
+    if source.exists():
+        registry = obs.load_stats(source)
+        origin = f"loaded from {source}"
+    elif args.input:
+        print(f"error: stats file {source} not found", file=sys.stderr)
+        return 2
+    else:
+        # No dump on disk: fall back to this process's (likely empty)
+        # registry so `repro stats` is still usable programmatically.
+        registry = obs.get_registry()
+        origin = "in-process registry (no stats file found; run an " \
+                 "instrumented command with REPRO_OBS=1 first)"
+    print(obs.render_stats(registry, as_json=args.json))
+    if not args.json:
+        print(f"\n[{origin}]")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="EdgeHD reproduction CLI"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log repro.* diagnostics to stderr (-v INFO, -vv DEBUG)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -214,6 +285,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--dimension", type=int, default=4000)
         p.add_argument("--epochs", type=int, default=10)
         p.add_argument("--seed", type=int, default=7)
+        p.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="enable observability and write the span trace (JSONL)",
+        )
 
     train = sub.add_parser("train", help="train a centralized EdgeHD model")
     add_data_args(train)
@@ -230,6 +305,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--topology", default="tree", choices=("star", "tree", "pecan")
     )
     federate.add_argument("--batch-size", type=int, default=10)
+    federate.add_argument(
+        "--medium", default="wifi-802.11ac",
+        choices=("wired-1gbps", "wired-500mbps", "wifi-802.11ac",
+                 "wifi-802.11n", "bluetooth-4.0"),
+        help="medium for the network replay summary",
+    )
 
     report = sub.add_parser(
         "report", help="aggregate saved benchmark reports into markdown"
@@ -244,6 +325,20 @@ def build_parser() -> argparse.ArgumentParser:
                  "fig11", "fig12", "fig13"),
     )
     reproduce.add_argument("--quick", action="store_true")
+    reproduce.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="enable observability and write the span trace (JSONL)",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="show metrics recorded by an instrumented run"
+    )
+    stats.add_argument(
+        "--input", default=None, metavar="PATH",
+        help="stats dump to render (default: repro-obs-stats.json or "
+             "$REPRO_OBS_STATS)",
+    )
+    stats.add_argument("--json", action="store_true", help="raw JSON output")
     return parser
 
 
@@ -253,12 +348,27 @@ _HANDLERS = {
     "train": _cmd_train,
     "federate": _cmd_federate,
     "reproduce": _cmd_reproduce,
+    "stats": _cmd_stats,
 }
+
+#: commands that record metrics and persist them on exit.
+_INSTRUMENTED = {"train", "federate", "reproduce"}
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    _configure_logging(args.verbose)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        obs.enable()
+    code = _HANDLERS[args.command](args)
+    if args.command in _INSTRUMENTED and obs.enabled():
+        stats_path = obs.dump_stats()
+        print(f"[obs] metrics written to {stats_path} (view: repro stats)")
+        if trace_path:
+            written = obs.export_trace(trace_path)
+            print(f"[obs] {written} spans written to {trace_path}")
+    return code
 
 
 if __name__ == "__main__":

@@ -18,15 +18,19 @@ Implements Section III-B of the paper:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.hypervector import cosine_many, normalize_rows
 from repro.utils.validation import check_fitted, check_labels, check_matrix
 
 __all__ = ["HDClassifier", "softmax_confidence", "PredictionResult"]
+
+logger = logging.getLogger(__name__)
 
 
 def softmax_confidence(similarities: np.ndarray, temperature: float = 1.0) -> np.ndarray:
@@ -169,32 +173,43 @@ class HDClassifier:
         rng = np.random.default_rng(shuffle_seed)
         history: list[float] = []
         model = self.class_hypervectors
-        for _ in range(epochs):
-            if mode == "online":
-                order = rng.permutation(enc.shape[0])
-                correct = 0
-                for idx in order:
-                    sample = enc[idx]
-                    sims = cosine_many(sample[None, :], model)[0]
-                    pred = int(np.argmax(sims))
-                    if pred == y[idx]:
-                        correct += 1
-                    else:
-                        model[y[idx]] += learning_rate * sample
-                        model[pred] -= learning_rate * sample
-                history.append(correct / enc.shape[0])
-            else:
-                sims = cosine_many(enc, model)
-                preds = np.argmax(sims, axis=1)
-                wrong = np.flatnonzero(preds != y)
-                history.append(1.0 - wrong.size / enc.shape[0])
-                if wrong.size:
-                    updates = learning_rate * enc[wrong]
-                    np.add.at(model, y[wrong], updates)
-                    np.subtract.at(model, preds[wrong], updates)
-            if history[-1] == 1.0:
-                break
+        with obs.span(
+            "retrain", mode=mode, epochs=epochs, n=enc.shape[0]
+        ) as retrain_span:
+            for _ in range(epochs):
+                if mode == "online":
+                    order = rng.permutation(enc.shape[0])
+                    correct = 0
+                    for idx in order:
+                        sample = enc[idx]
+                        sims = cosine_many(sample[None, :], model)[0]
+                        pred = int(np.argmax(sims))
+                        if pred == y[idx]:
+                            correct += 1
+                        else:
+                            model[y[idx]] += learning_rate * sample
+                            model[pred] -= learning_rate * sample
+                    history.append(correct / enc.shape[0])
+                else:
+                    sims = cosine_many(enc, model)
+                    preds = np.argmax(sims, axis=1)
+                    wrong = np.flatnonzero(preds != y)
+                    history.append(1.0 - wrong.size / enc.shape[0])
+                    if wrong.size:
+                        updates = learning_rate * enc[wrong]
+                        np.add.at(model, y[wrong], updates)
+                        np.subtract.at(model, preds[wrong], updates)
+                if history[-1] == 1.0:
+                    break
+            retrain_span.set(epochs_run=len(history))
+        obs.incr("core.retrain.calls")
+        obs.incr("core.retrain.epochs_run", len(history))
         self._refresh_normalized()
+        if history:
+            logger.debug(
+                "retrain(%s): %d epochs, accuracy %.3f -> %.3f",
+                mode, len(history), history[0], history[-1],
+            )
         return history
 
     def update(self, class_index: int, delta: np.ndarray, subtract: bool = False) -> None:
@@ -224,6 +239,8 @@ class HDClassifier:
         """Cosine similarity of each query row to each class hypervector."""
         check_fitted(self, "class_hypervectors")
         enc = check_matrix("encoded", encoded, cols=self.dimension)
+        obs.incr("core.similarity.calls")
+        obs.incr("core.similarity.queries", enc.shape[0])
         # Pre-normalized model: cosine == dot with normalized queries.
         qn = np.linalg.norm(enc, axis=1, keepdims=True)
         qn[qn == 0] = 1.0

@@ -31,6 +31,7 @@ from typing import Optional
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.hypervector import random_bipolar, sign_binarize
 from repro.utils.rng import SeedLike, derive_rng
 from repro.utils.validation import check_matrix, check_probability
@@ -69,9 +70,12 @@ class Encoder(abc.ABC):
         elements are bipolar int8 in {-1, +1}.
         """
         mat = check_matrix("features", features, cols=self.n_features)
-        encoded = self._transform(mat)
-        if self.binarize:
-            return sign_binarize(encoded)
+        with obs.span("encode", encoder=type(self).__name__, n=mat.shape[0]):
+            encoded = self._transform(mat)
+            if self.binarize:
+                encoded = sign_binarize(encoded)
+        obs.incr("core.encode.calls")
+        obs.incr("core.encode.samples", mat.shape[0])
         return encoded
 
     def encode_one(self, features: np.ndarray) -> np.ndarray:

@@ -32,11 +32,13 @@ so the network simulator can replay the run over any medium.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
+import repro.obs as obs
 from repro.config import DEFAULT_CONFIG, EdgeHDConfig
 from repro.core.classifier import HDClassifier
 from repro.core.encoding import Encoder, make_encoder
@@ -50,6 +52,8 @@ from repro.utils.rng import spawn_seeds
 from repro.utils.validation import check_labels, check_matrix
 
 __all__ = ["EdgeHDFederation", "FederatedTrainingReport", "batch_groups"]
+
+logger = logging.getLogger(__name__)
 
 
 def batch_groups(labels: np.ndarray, batch_size: int) -> list[tuple[int, np.ndarray]]:
@@ -282,6 +286,39 @@ class EdgeHDFederation:
         class_models: Dict[int, np.ndarray] = {}
         batch_hvs: Dict[int, np.ndarray] = {}
 
+        upward = obs.span(
+            "fit_offline",
+            nodes=len(self.hierarchy.nodes),
+            n_samples=mat.shape[0],
+            n_batches=report.n_batches,
+        )
+        upward.__enter__()
+        try:
+            self._upward_pass(mat, y, epochs, report, groups, batch_labels,
+                              class_models, batch_hvs)
+        finally:
+            upward.__exit__(None, None, None)
+        obs.incr("hierarchy.train.passes")
+        obs.incr("hierarchy.train.bytes", report.total_bytes)
+        logger.info(
+            "fit_offline: %d nodes, %d batches, %.1f KiB upward traffic",
+            len(self.hierarchy.nodes), report.n_batches,
+            report.total_bytes / 1024,
+        )
+        return report
+
+    def _upward_pass(
+        self,
+        mat: np.ndarray,
+        y: np.ndarray,
+        epochs: int,
+        report: FederatedTrainingReport,
+        groups: list[tuple[int, np.ndarray]],
+        batch_labels: np.ndarray,
+        class_models: Dict[int, np.ndarray],
+        batch_hvs: Dict[int, np.ndarray],
+    ) -> None:
+        """Bottom-up training walk shared by :meth:`fit_offline`."""
         for node_id in self.hierarchy.postorder():
             node = self.hierarchy.nodes[node_id]
             clf = self.classifiers[node_id]
@@ -351,7 +388,10 @@ class EdgeHDFederation:
                         sequence=1,
                     )
                 )
-        return report
+                obs.incr("hierarchy.upward.bytes.class_model", model_bytes)
+                obs.incr(
+                    "hierarchy.upward.bytes.batch_hypervectors", batch_bytes
+                )
 
     # ------------------------------------------------------------------
     # evaluation helpers

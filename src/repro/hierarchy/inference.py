@@ -15,11 +15,13 @@ roughly ``m`` (integer bundle elements vs ``m`` bipolar vectors).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.compression import compressed_bundle_bytes
 from repro.hierarchy.federation import EdgeHDFederation
 from repro.network.message import Message, MessageKind
@@ -27,6 +29,8 @@ from repro.utils.rng import derive_rng
 from repro.utils.validation import check_labels, check_matrix
 
 __all__ = ["HierarchicalInference", "InferenceOutcome"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -49,10 +53,26 @@ class InferenceOutcome:
         return sum(m.payload_bytes for m in self.messages)
 
     def level_frequency(self, depth: int) -> Dict[int, float]:
-        """Fraction of queries answered at each level (Fig. 8c)."""
+        """Fraction of queries answered at each level (Fig. 8c).
+
+        ``depth`` must cover every recorded ``deciding_level``; passing
+        the depth of a different hierarchy would silently report
+        zero-frequency levels (and drop the real ones), so that case
+        raises instead.
+        """
         n = len(self.labels)
         if n == 0:
             raise ValueError("no inference outcomes recorded")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        recorded = np.unique(self.deciding_level)
+        outside = recorded[(recorded < 1) | (recorded > depth)]
+        if outside.size:
+            raise ValueError(
+                f"recorded deciding levels {outside.tolist()} fall outside "
+                f"range [1, {depth}]; pass the depth of the hierarchy that "
+                f"produced this outcome (levels seen: {recorded.tolist()})"
+            )
         return {
             level: float(np.mean(self.deciding_level == level))
             for level in range(1, depth + 1)
@@ -139,51 +159,54 @@ class HierarchicalInference:
 
         # Precompute encodings and predictions at every node for the
         # whole batch; the escalation walk then just picks rows.
-        if encodings is None:
-            encodings = self.federation.encode_all(mat)
-        predictions = {
-            node_id: self.federation.classifiers[node_id].predict(enc)
-            for node_id, enc in encodings.items()
-        }
+        with obs.span("hierarchical_inference", n=n, cap=cap):
+            if encodings is None:
+                encodings = self.federation.encode_all(mat)
+            predictions = {
+                node_id: self.federation.classifiers[node_id].predict(enc)
+                for node_id, enc in encodings.items()
+            }
 
-        labels = np.empty(n, dtype=np.int64)
-        deciding_node = np.empty(n, dtype=np.int64)
-        deciding_level = np.empty(n, dtype=np.int64)
-        confidence = np.empty(n, dtype=np.float64)
-        #: queries escalated over each (child -> parent) edge.
-        escalations: Dict[tuple[int, int], int] = {}
+            labels = np.empty(n, dtype=np.int64)
+            deciding_node = np.empty(n, dtype=np.int64)
+            deciding_level = np.empty(n, dtype=np.int64)
+            confidence = np.empty(n, dtype=np.float64)
+            #: queries escalated over each (child -> parent) edge.
+            escalations: Dict[tuple[int, int], int] = {}
 
-        for i in range(n):
-            path = hierarchy.path_to_root(int(start_leaves[i]))
-            chosen = path[-1]
-            for node_id in path:
-                level = hierarchy.nodes[node_id].level
-                if level < self.min_level:
-                    # Below the first decision-capable level: always
-                    # escalate (costs a hop, no decision).
+            for i in range(n):
+                path = hierarchy.path_to_root(int(start_leaves[i]))
+                chosen = path[-1]
+                for node_id in path:
+                    level = hierarchy.nodes[node_id].level
+                    if level < self.min_level:
+                        # Below the first decision-capable level: always
+                        # escalate (costs a hop, no decision).
+                        parent = hierarchy.nodes[node_id].parent
+                        if parent is not None:
+                            edge = (node_id, parent)
+                            escalations[edge] = escalations.get(edge, 0) + 1
+                        continue
+                    if level > cap:
+                        break
+                    pred = predictions[node_id]
+                    top_conf = float(pred.top_confidence[i])
+                    chosen = node_id
+                    if top_conf >= self.confidence_threshold or level == cap:
+                        break
                     parent = hierarchy.nodes[node_id].parent
                     if parent is not None:
                         edge = (node_id, parent)
                         escalations[edge] = escalations.get(edge, 0) + 1
-                    continue
-                if level > cap:
-                    break
-                pred = predictions[node_id]
-                top_conf = float(pred.top_confidence[i])
-                chosen = node_id
-                if top_conf >= self.confidence_threshold or level == cap:
-                    break
-                parent = hierarchy.nodes[node_id].parent
-                if parent is not None:
-                    edge = (node_id, parent)
-                    escalations[edge] = escalations.get(edge, 0) + 1
-            pred = predictions[chosen]
-            labels[i] = pred.labels[i]
-            deciding_node[i] = chosen
-            deciding_level[i] = hierarchy.nodes[chosen].level
-            confidence[i] = float(pred.top_confidence[i])
+                pred = predictions[chosen]
+                labels[i] = pred.labels[i]
+                deciding_node[i] = chosen
+                deciding_level[i] = hierarchy.nodes[chosen].level
+                confidence[i] = float(pred.top_confidence[i])
 
-        messages = self._escalation_messages(escalations)
+            messages = self._escalation_messages(escalations)
+        if obs.enabled():
+            self._record_metrics(escalations, deciding_level, confidence)
         return InferenceOutcome(
             labels=labels,
             deciding_node=deciding_node,
@@ -191,6 +214,36 @@ class HierarchicalInference:
             confidence=confidence,
             start_leaf=np.asarray(start_leaves, dtype=np.int64),
             messages=messages,
+        )
+
+    def _record_metrics(
+        self,
+        escalations: Dict[tuple[int, int], int],
+        deciding_level: np.ndarray,
+        confidence: np.ndarray,
+    ) -> None:
+        """Feed the metrics registry (only called when obs is enabled).
+
+        Per-level counters use the level the query *left* (escalations)
+        and the level that answered (decisions); the confidence
+        histogram records the deciding node's top-class confidence,
+        the quantity Fig. 8b tracks.
+        """
+        hierarchy = self.federation.hierarchy
+        obs.incr("hierarchy.inference.queries", deciding_level.size)
+        levels, counts = np.unique(deciding_level, return_counts=True)
+        for level, count in zip(levels, counts):
+            obs.incr(f"hierarchy.decided.l{int(level)}", int(count))
+        for (child, _parent), count in escalations.items():
+            level = hierarchy.nodes[child].level
+            obs.incr(f"hierarchy.escalations.l{level}", count)
+        for value in confidence:
+            obs.observe(
+                "hierarchy.confidence", float(value), bounds=obs.UNIT_BUCKETS
+            )
+        logger.debug(
+            "inference: %d queries, %d escalation edges",
+            deciding_level.size, len(escalations),
         )
 
     def _escalation_messages(
@@ -215,6 +268,9 @@ class HierarchicalInference:
             )
             n_bundles = (count + m - 1) // m
             bundle_bytes = compressed_bundle_bytes(parent_in_dim, m)
+            obs.incr(
+                "hierarchy.escalation.compressed_bytes", n_bundles * bundle_bytes
+            )
             messages.append(
                 Message(
                     source=child,

@@ -18,11 +18,13 @@ metrics that Figs. 8 and 9 report.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.online import ResidualAccumulator
 from repro.hierarchy.federation import EdgeHDFederation
 from repro.hierarchy.inference import HierarchicalInference
@@ -30,6 +32,8 @@ from repro.network.message import Message, MessageKind
 from repro.utils.validation import check_labels, check_matrix
 
 __all__ = ["OnlineLearner", "OnlineSession", "OnlineStepMetrics"]
+
+logger = logging.getLogger(__name__)
 
 
 class OnlineLearner:
@@ -95,12 +99,14 @@ class OnlineLearner:
             if norm > 0:
                 query = query / norm
         self.residuals[node_id].record_negative(query, predicted_class, label)
+        obs.incr("online.feedback.events")
 
     def pending_feedback(self) -> int:
         """Total feedback events not yet propagated."""
         return sum(r.feedback_count for r in self.residuals.values())
 
     # ------------------------------------------------------------------
+    @obs.traced("propagate")
     def propagate(self) -> List[Message]:
         """Apply + propagate all residuals bottom-up; returns transfers.
 
@@ -151,6 +157,7 @@ class OnlineLearner:
                     average=self.normalize,
                     renormalize=self.normalize,
                 )
+                obs.incr("online.residual_updates")
             if (
                 node.parent is not None
                 and count > 0
@@ -164,7 +171,13 @@ class OnlineLearner:
                         payload_bytes=4 * (neg.size + pos.size),
                     )
                 )
+                obs.incr("online.residual_bytes", 4 * (neg.size + pos.size))
             own.clear()
+        obs.incr("online.propagations")
+        logger.debug(
+            "propagate: %d residual transfers, lr %.4f",
+            len(messages), effective_lr,
+        )
         return messages
 
 

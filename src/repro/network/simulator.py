@@ -24,15 +24,19 @@ time and energy for every attempt (harsh-network behaviour, Sec. I).
 from __future__ import annotations
 
 import heapq
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+import repro.obs as obs
 from repro.hierarchy.topology import Hierarchy
 from repro.network.failure import FailureModel
 from repro.network.medium import Medium
 from repro.network.message import Message, MessageKind
 
 __all__ = ["NetworkSimulator", "SimulationResult"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -141,10 +145,12 @@ class NetworkSimulator:
         return attempts, True
 
     # ------------------------------------------------------------------
+    @obs.traced("simulate_independent")
     def simulate_independent(self, transfers: Iterable[Message]) -> SimulationResult:
         """Schedule independent transfers; shared links serialize."""
         return self._run(transfers, ready_times=None)
 
+    @obs.traced("simulate_upward_pass")
     def simulate_upward_pass(
         self,
         transfers: Iterable[Message],
@@ -229,10 +235,22 @@ class NetworkSimulator:
             + attempts * message.payload_bytes
         )
         total.total_bytes += attempts * message.payload_bytes
+        if attempts > 1:
+            obs.incr("network.retransmissions", attempts - 1)
+        obs.gauge_add(
+            f"network.bytes.{message.kind.value}",
+            attempts * message.payload_bytes,
+        )
         if delivered:
             total.delivered += 1
+            obs.incr("network.delivered")
             return end
         total.dropped += 1
+        obs.incr("network.dropped")
+        logger.debug(
+            "dropped %s message %d -> %d after %d attempts",
+            message.kind.value, message.source, message.destination, attempts,
+        )
         return None
 
 

@@ -1,0 +1,42 @@
+"""Global on/off switch for the observability subsystem.
+
+Instrumentation is compiled into the hot paths permanently; this module
+holds the single boolean that decides whether those call sites do any
+work. The flag lives in one place so every helper — counters, spans,
+trace export — reads the same state, and so the disabled fast path is
+a single attribute load and branch.
+
+The flag starts from the ``REPRO_OBS`` environment variable (``1`` /
+``true`` / ``on`` enable it) and can be flipped at runtime with
+:func:`enable` / :func:`disable`.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["enable", "disable", "enabled"]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+#: Module-level flag read by the fast-path helpers. Other repro.obs
+#: modules must access it as ``runtime.active`` (not ``from ... import``)
+#: so toggles are seen everywhere.
+active: bool = os.environ.get("REPRO_OBS", "").strip().lower() in _TRUTHY
+
+
+def enable() -> None:
+    """Turn instrumentation on for this process."""
+    global active
+    active = True
+
+
+def disable() -> None:
+    """Turn instrumentation off; recorded data is kept until reset."""
+    global active
+    active = False
+
+
+def enabled() -> bool:
+    """Is instrumentation currently recording?"""
+    return active

@@ -1,0 +1,62 @@
+"""Persisting and rendering metric snapshots across processes.
+
+The registry is process-local; ``repro stats`` runs in a *new* process,
+so instrumented CLI commands dump their registry to a JSON file on exit
+(default ``repro-obs-stats.json`` in the working directory, overridable
+with ``REPRO_OBS_STATS``) and ``repro stats`` renders that file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+__all__ = [
+    "default_stats_path",
+    "dump_stats",
+    "load_stats",
+    "render_stats",
+]
+
+_STATS_ENV = "REPRO_OBS_STATS"
+_DEFAULT_FILENAME = "repro-obs-stats.json"
+
+
+def default_stats_path() -> Path:
+    """Where CLI commands persist their registry snapshot."""
+    return Path(os.environ.get(_STATS_ENV, _DEFAULT_FILENAME))
+
+
+def dump_stats(
+    path: Optional[Union[str, Path]] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Path:
+    """Write the registry snapshot as JSON; returns the path written."""
+    target = Path(path) if path is not None else default_stats_path()
+    reg = registry if registry is not None else get_registry()
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(reg.snapshot(), indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def load_stats(path: Optional[Union[str, Path]] = None) -> MetricsRegistry:
+    """Read a :func:`dump_stats` file into a fresh registry."""
+    source = Path(path) if path is not None else default_stats_path()
+    data: Dict[str, dict] = json.loads(source.read_text())
+    registry = MetricsRegistry()
+    registry.load_snapshot(data)
+    return registry
+
+
+def render_stats(
+    registry: Optional[MetricsRegistry] = None, as_json: bool = False
+) -> str:
+    """Format a registry for terminal output (table or JSON)."""
+    reg = registry if registry is not None else get_registry()
+    if as_json:
+        return json.dumps(reg.snapshot(), indent=2, sort_keys=True)
+    return reg.render_table()

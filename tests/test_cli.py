@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro.obs as obs
 from repro.cli import build_parser, main
 
 
@@ -66,4 +67,57 @@ class TestCommands:
         code = main(
             ["federate", "--dataset", "MNIST", "--scale", "0.001"]
         )
+        assert code == 2
+
+
+class TestObservability:
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def test_verbose_flag_parses(self):
+        args = build_parser().parse_args(["-vv", "train"])
+        assert args.verbose == 2
+
+    def test_trace_flag_enables_obs_and_writes(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_OBS_STATS", str(tmp_path / "stats.json"))
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "train", "--dataset", "PDP", "--dimension", "128",
+                "--scale", "0.02", "--epochs", "1", "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        assert trace.exists() and trace.read_text().strip()
+        assert (tmp_path / "stats.json").exists()
+
+    def test_stats_renders_dump(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_STATS", str(tmp_path / "stats.json"))
+        obs.enable()
+        obs.incr("core.encode.calls", 3)
+        obs.dump_stats()
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "core.encode.calls" in out and "3" in out
+
+    def test_stats_json_output(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_STATS", str(tmp_path / "stats.json"))
+        obs.enable()
+        obs.incr("x")
+        obs.dump_stats()
+        assert main(["stats", "--json"]) == 0
+        import json
+
+        data = json.loads(capsys.readouterr().out)
+        assert data["x"]["value"] == 1
+
+    def test_stats_missing_explicit_input(self, capsys, tmp_path):
+        code = main(["stats", "--input", str(tmp_path / "absent.json")])
         assert code == 2
