@@ -13,6 +13,7 @@ benchmark run can double as a profiling artifact.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -58,6 +59,19 @@ def save_report(name: str, text: str) -> None:
         obs.reset()
         print(f"[obs] {spans} spans -> {trace_path.name}, "
               f"metrics -> {name}.stats.json]")
+
+
+def save_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable report under benchmarks/results/.
+
+    Companion to :func:`save_report` for benchmarks whose output is a
+    structured measurement grid rather than a formatted table.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[saved to benchmarks/results/{name}.json]")
+    return path
 
 
 def run_once(benchmark, fn):

@@ -117,5 +117,17 @@ class CentralizedHD:
             self.hierarchy, self.partition, n_queries, kind=MessageKind.QUERY
         )
 
+    # ------------------------------------------------------------------
+    # Predictor protocol: delegate to the central global model.
+    # ------------------------------------------------------------------
+    def predict(self, features: np.ndarray):
+        return self.model.predict(features)
+
+    def predict_labels(self, features: np.ndarray) -> np.ndarray:
+        return self.model.predict_labels(features)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        return self.model.predict_proba(features)
+
     def accuracy(self, test_x: np.ndarray, test_y: np.ndarray) -> float:
         return self.model.accuracy(test_x, test_y)

@@ -16,7 +16,12 @@ __all__ = ["LinearHDClassifier"]
 
 
 class LinearHDClassifier(EdgeHDModel):
-    """EdgeHD pipeline with the linear random-projection encoder."""
+    """EdgeHD pipeline with the linear random-projection encoder.
+
+    Inherits the full :class:`~repro.core.predictor.Predictor` surface
+    (``predict`` / ``predict_labels`` / ``predict_proba``) and the
+    dense/packed ``backend`` switch from :class:`EdgeHDModel`.
+    """
 
     def __init__(
         self,
@@ -24,6 +29,7 @@ class LinearHDClassifier(EdgeHDModel):
         n_classes: int,
         dimension: int = 4000,
         seed: SeedLike = None,
+        backend: str = "dense",
     ) -> None:
         super().__init__(
             n_features=n_features,
@@ -31,4 +37,5 @@ class LinearHDClassifier(EdgeHDModel):
             dimension=dimension,
             encoder="linear",
             seed=seed,
+            backend=backend,
         )

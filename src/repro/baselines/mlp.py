@@ -12,6 +12,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.classifier import PredictionResult
+from repro.core.predictor import result_from_proba
 from repro.utils.rng import SeedLike, derive_rng
 from repro.utils.validation import check_fitted, check_labels, check_matrix
 
@@ -151,12 +153,21 @@ class MLPClassifier:
         logits, _ = self._forward(x)
         return self._softmax(logits)
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def predict(self, features: np.ndarray) -> PredictionResult:
+        """Full inference output (:class:`~repro.core.predictor.Predictor`).
+
+        Previously returned a bare label array; that shape survives via
+        the deprecation shims on
+        :class:`~repro.core.classifier.PredictionResult`.
+        """
+        return result_from_proba(self.predict_proba(features))
+
+    def predict_labels(self, features: np.ndarray) -> np.ndarray:
         return np.argmax(self.predict_proba(features), axis=1)
 
     def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
         y = check_labels("labels", labels, n_classes=self.n_classes)
-        pred = self.predict(features)
+        pred = self.predict_labels(features)
         if pred.shape[0] != y.shape[0]:
             raise ValueError("sample/label count mismatch")
         return float(np.mean(pred == y))

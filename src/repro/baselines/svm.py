@@ -14,6 +14,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.classifier import PredictionResult
+from repro.core.predictor import result_from_scores
 from repro.utils.rng import SeedLike, derive_rng
 from repro.utils.validation import check_fitted, check_labels, check_matrix
 
@@ -103,12 +105,24 @@ class KernelSVM:
         check_fitted(self, "weights")
         return self._lift(features) @ self.weights.T
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def predict(self, features: np.ndarray) -> PredictionResult:
+        """Full inference output (:class:`~repro.core.predictor.Predictor`).
+
+        Previously returned a bare label array; that shape survives via
+        the deprecation shims on
+        :class:`~repro.core.classifier.PredictionResult`.
+        """
+        return result_from_scores(self.decision_function(features))
+
+    def predict_labels(self, features: np.ndarray) -> np.ndarray:
         return np.argmax(self.decision_function(features), axis=1)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        return self.predict(features).confidences
 
     def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
         y = check_labels("labels", labels, n_classes=self.n_classes)
-        pred = self.predict(features)
+        pred = self.predict_labels(features)
         if pred.shape[0] != y.shape[0]:
             raise ValueError("sample/label count mismatch")
         return float(np.mean(pred == y))

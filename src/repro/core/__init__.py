@@ -6,7 +6,27 @@ hierarchy-level orchestration lives in :mod:`repro.hierarchy`.
 """
 
 from repro.core.adaptive import AdaptiveOnlineUpdater
-from repro.core.classifier import HDClassifier, PredictionResult, softmax_confidence
+from repro.core.classifier import (
+    BACKENDS,
+    HDClassifier,
+    PredictionResult,
+    softmax_confidence,
+)
+from repro.core.kernels import (
+    PackedBits,
+    pack_bits,
+    packed_dot,
+    packed_hamming,
+    packed_similarities,
+    popcount_u64,
+    unpack_bits,
+    words_per_row,
+)
+from repro.core.predictor import (
+    Predictor,
+    result_from_proba,
+    result_from_scores,
+)
 from repro.core.compression import (
     CompressedBatch,
     PositionCodebook,
@@ -59,6 +79,18 @@ from repro.core.projection import TernaryProjection, concatenate_hypervectors
 
 __all__ = [
     "AdaptiveOnlineUpdater",
+    "BACKENDS",
+    "PackedBits",
+    "pack_bits",
+    "packed_dot",
+    "packed_hamming",
+    "packed_similarities",
+    "popcount_u64",
+    "unpack_bits",
+    "words_per_row",
+    "Predictor",
+    "result_from_proba",
+    "result_from_scores",
     "compressed_bundle_bytes",
     "bits_for_cap",
     "pack_bipolar",

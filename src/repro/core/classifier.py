@@ -19,6 +19,7 @@ Implements Section III-B of the paper:
 from __future__ import annotations
 
 import logging
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -26,11 +27,40 @@ import numpy as np
 
 import repro.obs as obs
 from repro.core.hypervector import cosine_many, normalize_rows
+from repro.core.kernels import PackedBits, pack_bits, packed_similarities
 from repro.utils.validation import check_fitted, check_labels, check_matrix
 
-__all__ = ["HDClassifier", "softmax_confidence", "PredictionResult"]
+__all__ = ["HDClassifier", "softmax_confidence", "PredictionResult", "BACKENDS"]
 
 logger = logging.getLogger(__name__)
+
+#: Supported associative-search backends: ``"dense"`` is the float
+#: cosine path; ``"packed"`` is the XOR+popcount kernel of
+#: :mod:`repro.core.kernels`.
+BACKENDS = ("dense", "packed")
+
+_legacy_result_warned: set[str] = set()
+
+
+def _warn_legacy_result(behavior: str) -> None:
+    """One-time deprecation warning for array-style PredictionResult use."""
+    if behavior not in _legacy_result_warned:
+        _legacy_result_warned.add(behavior)
+        warnings.warn(
+            "treating a PredictionResult as a bare label array "
+            f"(via {behavior}) is deprecated; use .labels or call "
+            "predict_labels() instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+
+def _check_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    return backend
 
 
 def softmax_confidence(similarities: np.ndarray, temperature: float = 1.0) -> np.ndarray:
@@ -50,9 +80,16 @@ def softmax_confidence(similarities: np.ndarray, temperature: float = 1.0) -> np
     return exp / exp.sum(axis=1, keepdims=True)
 
 
-@dataclass
+@dataclass(eq=False)
 class PredictionResult:
-    """Inference output: labels, per-class similarity and confidence."""
+    """Inference output: labels, per-class similarity and confidence.
+
+    Every :class:`~repro.core.predictor.Predictor` in the library —
+    core HD models and every baseline — returns this from ``predict``.
+    Callers written against the pre-protocol baseline API (which
+    returned a bare label array) keep working through the array-style
+    dunders below, at the cost of a one-time ``DeprecationWarning``.
+    """
 
     labels: np.ndarray
     similarities: np.ndarray
@@ -62,6 +99,39 @@ class PredictionResult:
     def top_confidence(self) -> np.ndarray:
         """Confidence of the predicted class for each query."""
         return self.confidences[np.arange(len(self.labels)), self.labels]
+
+    # -- deprecation shims: behave like the old bare label array ------
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        _warn_legacy_result("np.asarray()")
+        labels = np.asarray(self.labels)
+        if dtype is not None:
+            labels = labels.astype(dtype, copy=False)
+        if copy:
+            labels = labels.copy()
+        return labels
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __iter__(self):
+        _warn_legacy_result("iteration")
+        return iter(self.labels)
+
+    def __getitem__(self, index):
+        _warn_legacy_result("indexing")
+        return self.labels[index]
+
+    def __eq__(self, other):
+        if isinstance(other, PredictionResult):
+            return (
+                np.array_equal(self.labels, other.labels)
+                and np.array_equal(self.similarities, other.similarities)
+                and np.array_equal(self.confidences, other.confidences)
+            )
+        _warn_legacy_result("== comparison")
+        return self.labels == np.asarray(other)
+
+    __hash__ = None
 
 
 class HDClassifier:
@@ -81,6 +151,17 @@ class HDClassifier:
         Hypervector dimensionality ``D`` of this node.
     confidence_temperature:
         Softmax temperature; smaller values sharpen confidence.
+    backend:
+        Default associative-search backend, ``"dense"`` (float cosine)
+        or ``"packed"`` (XOR+popcount over bit-packed hypervectors,
+        :mod:`repro.core.kernels`). Every inference entry point also
+        takes a per-call ``backend=`` override. On a binarized model
+        with bipolar queries the two backends compute the same cosine
+        similarities and agree on the argmax whenever the top class is
+        unique (the packed path is exact integer arithmetic; the dense
+        float path can break *exact* similarity ties differently); on
+        real-valued models the packed path is the SHEARer-style
+        sign-quantized approximation.
     """
 
     def __init__(
@@ -88,6 +169,7 @@ class HDClassifier:
         n_classes: int,
         dimension: int,
         confidence_temperature: Optional[float] = None,
+        backend: str = "dense",
     ) -> None:
         if n_classes < 2:
             raise ValueError(f"n_classes must be >= 2, got {n_classes}")
@@ -103,8 +185,12 @@ class HDClassifier:
         self.n_classes = int(n_classes)
         self.dimension = int(dimension)
         self.confidence_temperature = float(confidence_temperature)
+        self.backend = _check_backend(backend)
         self.class_hypervectors: Optional[np.ndarray] = None
         self._normalized: Optional[np.ndarray] = None
+        #: lazily-built bit-packed sign model, invalidated on every
+        #: model update alongside the pre-normalized dense model.
+        self._packed_model: Optional[PackedBits] = None
 
     # ------------------------------------------------------------------
     # training
@@ -235,9 +321,34 @@ class HDClassifier:
     # ------------------------------------------------------------------
     # inference
     # ------------------------------------------------------------------
-    def similarities(self, encoded: np.ndarray) -> np.ndarray:
-        """Cosine similarity of each query row to each class hypervector."""
+    def similarities(
+        self, encoded: np.ndarray, backend: Optional[str] = None
+    ) -> np.ndarray:
+        """Similarity of each query row to each class hypervector.
+
+        The dense backend computes cosine similarity against the
+        pre-normalized model. The packed backend sign-quantizes queries
+        and model (bit = element > 0), XORs the uint64 bitplanes and
+        popcounts, returning ``dot / D`` — equal to the cosine when
+        both sides are bipolar, and ~64x less data movement.
+        """
         check_fitted(self, "class_hypervectors")
+        backend = _check_backend(backend or self.backend)
+        if backend == "packed":
+            enc = np.asarray(encoded)
+            if enc.ndim == 1:
+                enc = enc.reshape(1, -1)
+            if enc.ndim != 2 or enc.shape[1] != self.dimension:
+                raise ValueError(
+                    f"encoded must have {self.dimension} columns, got "
+                    f"shape {enc.shape}"
+                )
+            obs.incr("core.similarity.calls")
+            obs.incr("core.similarity.queries", enc.shape[0])
+            obs.incr("core.similarity.packed_queries", enc.shape[0])
+            if self._packed_model is None:
+                self._packed_model = pack_bits(self.class_hypervectors)
+            return packed_similarities(pack_bits(enc), self._packed_model)
         enc = check_matrix("encoded", encoded, cols=self.dimension)
         obs.incr("core.similarity.calls")
         obs.incr("core.similarity.queries", enc.shape[0])
@@ -246,32 +357,64 @@ class HDClassifier:
         qn[qn == 0] = 1.0
         return (enc / qn) @ self._normalized.T
 
-    def predict(self, encoded: np.ndarray) -> PredictionResult:
+    def predict(
+        self, encoded: np.ndarray, backend: Optional[str] = None
+    ) -> PredictionResult:
         """Associative search + confidence for a batch of queries."""
-        sims = self.similarities(encoded)
+        sims = self.similarities(encoded, backend=backend)
         labels = np.argmax(sims, axis=1)
         conf = softmax_confidence(sims, temperature=self.confidence_temperature)
         return PredictionResult(labels=labels, similarities=sims, confidences=conf)
 
-    def predict_labels(self, encoded: np.ndarray) -> np.ndarray:
+    def predict_labels(
+        self, encoded: np.ndarray, backend: Optional[str] = None
+    ) -> np.ndarray:
         """Convenience: just the argmax labels."""
-        return self.predict(encoded).labels
+        return self.predict(encoded, backend=backend).labels
 
-    def accuracy(self, encoded: np.ndarray, labels: np.ndarray) -> float:
+    def predict_proba(
+        self, encoded: np.ndarray, backend: Optional[str] = None
+    ) -> np.ndarray:
+        """Per-class confidence matrix (softmax over similarities)."""
+        return self.predict(encoded, backend=backend).confidences
+
+    def accuracy(
+        self,
+        encoded: np.ndarray,
+        labels: np.ndarray,
+        backend: Optional[str] = None,
+    ) -> float:
         """Fraction of queries classified correctly."""
         y = check_labels("labels", labels, n_classes=self.n_classes)
-        pred = self.predict_labels(encoded)
+        pred = self.predict_labels(encoded, backend=backend)
         if pred.shape[0] != y.shape[0]:
             raise ValueError(f"{pred.shape[0]} samples but {y.shape[0]} labels")
         if y.size == 0:
             raise ValueError("empty evaluation set")
         return float(np.mean(pred == y))
 
+    def binarize_model(self) -> "HDClassifier":
+        """Snap class hypervectors to {-1, +1} in place.
+
+        Uses the packed kernel's sign convention (``> 0`` maps to +1,
+        zeros to -1) so that afterwards the dense and packed backends
+        compute identical similarities on bipolar queries — the
+        deployment step that makes the popcount path exact rather than
+        approximate.
+        """
+        check_fitted(self, "class_hypervectors")
+        self.class_hypervectors = np.where(
+            self.class_hypervectors > 0, 1.0, -1.0
+        )
+        self._refresh_normalized()
+        return self
+
     # ------------------------------------------------------------------
     def copy(self) -> "HDClassifier":
         """Deep copy (used when forking node models in the hierarchy)."""
         clone = HDClassifier(
-            self.n_classes, self.dimension, self.confidence_temperature
+            self.n_classes, self.dimension, self.confidence_temperature,
+            backend=self.backend,
         )
         if self.class_hypervectors is not None:
             clone.class_hypervectors = self.class_hypervectors.copy()
@@ -280,6 +423,7 @@ class HDClassifier:
 
     def _refresh_normalized(self) -> None:
         self._normalized = normalize_rows(self.class_hypervectors)
+        self._packed_model = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         fitted = self.class_hypervectors is not None

@@ -95,6 +95,7 @@ class EdgeHDModel:
         sparsity: float = 0.0,
         binarize: bool = True,
         seed: SeedLike = None,
+        backend: str = "dense",
     ) -> None:
         if isinstance(encoder, Encoder):
             if encoder.n_features != n_features or encoder.dimension != dimension:
@@ -107,7 +108,7 @@ class EdgeHDModel:
                 encoder, n_features, dimension,
                 sparsity=sparsity, binarize=binarize, seed=seed,
             )
-        self.classifier = HDClassifier(n_classes, dimension)
+        self.classifier = HDClassifier(n_classes, dimension, backend=backend)
         self.n_features = int(n_features)
         self.n_classes = int(n_classes)
         self.dimension = int(dimension)
@@ -139,15 +140,39 @@ class EdgeHDModel:
         """Expose the encoder (end nodes encode queries locally)."""
         return self.encoder.encode(features)
 
-    def predict(self, features: np.ndarray) -> PredictionResult:
-        """End-to-end inference from raw features."""
-        return self.classifier.predict(self.encode(features))
+    def predict(
+        self, features: np.ndarray, backend: Optional[str] = None
+    ) -> PredictionResult:
+        """End-to-end inference from raw features.
 
-    def predict_labels(self, features: np.ndarray) -> np.ndarray:
-        return self.predict(features).labels
+        ``backend`` selects the associative-search kernel per call
+        (``"dense"`` float cosine or ``"packed"`` XOR+popcount); by
+        default the classifier's configured backend applies. See
+        :class:`repro.core.classifier.HDClassifier` for the
+        dense/packed equivalence guarantee.
+        """
+        return self.classifier.predict(self.encode(features), backend=backend)
 
-    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
-        return self.classifier.accuracy(self.encode(features), labels)
+    def predict_labels(
+        self, features: np.ndarray, backend: Optional[str] = None
+    ) -> np.ndarray:
+        return self.predict(features, backend=backend).labels
+
+    def predict_proba(
+        self, features: np.ndarray, backend: Optional[str] = None
+    ) -> np.ndarray:
+        """Per-class confidence matrix for raw feature rows."""
+        return self.predict(features, backend=backend).confidences
+
+    def accuracy(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        backend: Optional[str] = None,
+    ) -> float:
+        return self.classifier.accuracy(
+            self.encode(features), labels, backend=backend
+        )
 
     # ------------------------------------------------------------------
     @property

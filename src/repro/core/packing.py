@@ -32,27 +32,59 @@ __all__ = [
 
 
 def pack_bipolar(hypervector: np.ndarray) -> bytes:
-    """Pack a {-1, +1} hypervector into one bit per element."""
+    """Pack {-1, +1} hypervector(s) into one bit per element.
+
+    Accepts a single 1-D hypervector or a 2-D ``(n_samples, dimension)``
+    batch. Each row is packed independently and padded to a byte
+    boundary, so a batch payload is exactly ``n_samples *
+    ceil(dimension / 8)`` bytes — ``n_samples`` concatenated single-row
+    payloads, the layout the batch transfers of Sec. IV-B are charged
+    for.
+    """
     arr = np.asarray(hypervector)
-    if arr.ndim != 1:
-        raise ValueError(f"expected a 1-D hypervector, got shape {arr.shape}")
+    if arr.ndim not in (1, 2):
+        raise ValueError(
+            f"expected a 1-D or 2-D hypervector array, got shape {arr.shape}"
+        )
+    if arr.shape[-1] == 0:
+        raise ValueError("cannot pack zero-dimensional hypervectors")
     values = np.sign(arr)
     if np.any(values == 0):
         raise ValueError("bipolar packing requires non-zero elements")
     bits = (values > 0).astype(np.uint8)
-    return np.packbits(bits).tobytes()
+    if bits.ndim == 1:
+        return np.packbits(bits).tobytes()
+    return np.packbits(bits, axis=1).tobytes()
 
 
-def unpack_bipolar(payload: bytes, dimension: int) -> np.ndarray:
-    """Inverse of :func:`pack_bipolar`."""
+def unpack_bipolar(
+    payload: bytes, dimension: int, n_samples: int | None = None
+) -> np.ndarray:
+    """Inverse of :func:`pack_bipolar`.
+
+    With ``n_samples=None`` (default) decodes a single hypervector of
+    shape ``(dimension,)``; otherwise decodes a batch of shape
+    ``(n_samples, dimension)`` whose rows were packed row-aligned.
+    """
     if dimension <= 0:
         raise ValueError(f"dimension must be positive, got {dimension}")
-    expected = (dimension + 7) // 8
-    if len(payload) != expected:
+    row_bytes = (dimension + 7) // 8
+    if n_samples is None:
+        if len(payload) != row_bytes:
+            raise ValueError(
+                f"payload has {len(payload)} bytes, expected {row_bytes}"
+            )
+        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))[:dimension]
+        return np.where(bits == 1, 1, -1).astype(np.int8)
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be >= 0, got {n_samples}")
+    if len(payload) != n_samples * row_bytes:
         raise ValueError(
-            f"payload has {len(payload)} bytes, expected {expected}"
+            f"payload has {len(payload)} bytes, expected "
+            f"{n_samples * row_bytes} ({n_samples} rows x {row_bytes})"
         )
-    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))[:dimension]
+    rows = np.frombuffer(payload, dtype=np.uint8).reshape(n_samples, row_bytes)
+    bits = np.unpackbits(rows, axis=1)[:, :dimension]
     return np.where(bits == 1, 1, -1).astype(np.int8)
 
 

@@ -203,7 +203,9 @@ class EdgeHDFederation:
             return sign_binarize(combined)
         return combined
 
-    def encode_all(self, features: np.ndarray, view: str = "own") -> Dict[int, np.ndarray]:
+    def encode_all(
+        self, features: np.ndarray, *, view: str = "own"
+    ) -> Dict[int, np.ndarray]:
         """Hierarchical encodings of ``features`` at *every* node.
 
         Leaves encode their feature slice. Each internal node receives
@@ -214,8 +216,20 @@ class EdgeHDFederation:
         values (more faithful, zero extra communication); only the copy
         it forwards to its parent is binarized again.
 
-        ``view="own"`` (default) returns what each node classifies
-        with; ``view="forward"`` returns what each node transmits.
+        Parameters
+        ----------
+        features:
+            Global feature matrix, one row per observation.
+        view:
+            Keyword-only. ``"own"`` (default) returns what each node
+            *classifies with*: the leaf's encoded hypervectors, or an
+            internal node's raw post-projection values. ``"forward"``
+            returns what each node *transmits to its parent*: the same
+            values binarized whenever ``config.binarize`` is set (at a
+            leaf the two views coincide because leaf encoders already
+            binarize). Use ``"forward"`` when modelling the wire
+            (packing, corruption, bandwidth); use ``"own"`` for local
+            accuracy.
         """
         if view not in {"own", "forward"}:
             raise ValueError(f"view must be 'own' or 'forward', got {view!r}")
@@ -237,8 +251,16 @@ class EdgeHDFederation:
                 )
         return own if view == "own" else forward
 
-    def encode_at(self, node_id: int, features: np.ndarray, view: str = "own") -> np.ndarray:
-        """Hierarchical encoding at a single node (computes its subtree)."""
+    def encode_at(
+        self, node_id: int, features: np.ndarray, *, view: str = "own"
+    ) -> np.ndarray:
+        """Hierarchical encoding at a single node (computes its subtree).
+
+        ``view`` is keyword-only and has the same ``"own"`` (what the
+        node classifies with — raw projection values at internal nodes)
+        vs ``"forward"`` (what the node transmits — binarized when
+        ``config.binarize``) semantics as :meth:`encode_all`.
+        """
         if node_id not in self.hierarchy.nodes:
             raise KeyError(f"unknown node {node_id}")
         mat = check_matrix("features", features, cols=self.partition.n_features)

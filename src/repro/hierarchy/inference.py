@@ -94,6 +94,7 @@ class HierarchicalInference:
         confidence_threshold: Optional[float] = None,
         compression_count: Optional[int] = None,
         min_level: int = 1,
+        backend: str = "dense",
     ) -> None:
         self.federation = federation
         cfg = federation.config
@@ -112,6 +113,13 @@ class HierarchicalInference:
         #: lowest level allowed to answer (PECAN runs classification on
         #: house level and above — appliances only sense, Sec. VI-C).
         self.min_level = int(min_level)
+        if backend not in {"dense", "packed"}:
+            raise ValueError(
+                f"backend must be 'dense' or 'packed', got {backend!r}"
+            )
+        #: associative-search kernel used at every node
+        #: (see :class:`repro.core.classifier.HDClassifier`).
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def run(
@@ -130,6 +138,12 @@ class HierarchicalInference:
         gateways), used by the Fig. 11 level sweep. ``encodings`` may
         pass precomputed ``encode_all(features)`` output to avoid
         re-encoding.
+
+        The walk is batch-first: each node classifies its whole cohort
+        of pending queries in one vectorized call (using the dense or
+        packed kernel per ``self.backend``), and confidence gating
+        escalates entire sub-batches at once. The escalation decisions
+        are identical to walking queries one at a time.
         """
         hierarchy = self.federation.hierarchy
         mat = check_matrix(
@@ -158,51 +172,90 @@ class HierarchicalInference:
             )
 
         # Precompute encodings and predictions at every node for the
-        # whole batch; the escalation walk then just picks rows.
+        # whole batch (one vectorized associative search per node);
+        # the escalation walk below then advances whole cohorts of
+        # queries node-by-node instead of walking samples one at a
+        # time through a Python loop.
         with obs.span("hierarchical_inference", n=n, cap=cap):
             if encodings is None:
                 encodings = self.federation.encode_all(mat)
             predictions = {
-                node_id: self.federation.classifiers[node_id].predict(enc)
+                node_id: self.federation.classifiers[node_id].predict(
+                    enc, backend=self.backend
+                )
                 for node_id, enc in encodings.items()
             }
+            top_conf = {
+                node_id: pred.top_confidence
+                for node_id, pred in predictions.items()
+            }
 
+            #: queries escalated over each (child -> parent) edge.
+            escalations: Dict[tuple[int, int], int] = {}
+            #: per-query current position in the walk.
+            current = np.asarray(start_leaves, dtype=np.int64).copy()
+            #: last decision-capable node each query visited; -1 until
+            #: the cohort reaches its first node at level >= min_level.
+            chosen = np.full(n, -1, dtype=np.int64)
+            pending = np.arange(n, dtype=np.int64)
+            while pending.size:
+                advancing: list[np.ndarray] = []
+                for node_id in np.unique(current[pending]):
+                    rows = pending[current[pending] == node_id]
+                    node = hierarchy.nodes[node_id]
+                    parent = node.parent
+                    if node.level < self.min_level:
+                        # Below the first decision-capable level:
+                        # always escalate (costs a hop, no decision).
+                        if parent is not None:
+                            edge = (node_id, parent)
+                            escalations[edge] = (
+                                escalations.get(edge, 0) + rows.size
+                            )
+                            current[rows] = parent
+                            advancing.append(rows)
+                        continue
+                    if node.level > cap:
+                        # Ragged hierarchy: the parent jumped past the
+                        # cap before any decision-capable node answered
+                        # confidently; queries that never saw one fall
+                        # back to the root's model, exactly as the
+                        # per-sample walk did.
+                        unseen = rows[chosen[rows] < 0]
+                        if unseen.size:
+                            chosen[unseen] = hierarchy.root_id
+                        continue
+                    conf = top_conf[node_id][rows]
+                    chosen[rows] = node_id
+                    done = conf >= self.confidence_threshold
+                    if node.level == cap or parent is None:
+                        continue
+                    escalate = rows[~done]
+                    if escalate.size:
+                        edge = (node_id, parent)
+                        escalations[edge] = (
+                            escalations.get(edge, 0) + escalate.size
+                        )
+                        current[escalate] = parent
+                        advancing.append(escalate)
+                pending = (
+                    np.concatenate(advancing)
+                    if advancing
+                    else np.empty(0, dtype=np.int64)
+                )
+
+            # Gather per-query outputs from the deciding nodes' batch
+            # predictions, one vectorized pick per deciding node.
             labels = np.empty(n, dtype=np.int64)
             deciding_node = np.empty(n, dtype=np.int64)
             deciding_level = np.empty(n, dtype=np.int64)
             confidence = np.empty(n, dtype=np.float64)
-            #: queries escalated over each (child -> parent) edge.
-            escalations: Dict[tuple[int, int], int] = {}
-
-            for i in range(n):
-                path = hierarchy.path_to_root(int(start_leaves[i]))
-                chosen = path[-1]
-                for node_id in path:
-                    level = hierarchy.nodes[node_id].level
-                    if level < self.min_level:
-                        # Below the first decision-capable level: always
-                        # escalate (costs a hop, no decision).
-                        parent = hierarchy.nodes[node_id].parent
-                        if parent is not None:
-                            edge = (node_id, parent)
-                            escalations[edge] = escalations.get(edge, 0) + 1
-                        continue
-                    if level > cap:
-                        break
-                    pred = predictions[node_id]
-                    top_conf = float(pred.top_confidence[i])
-                    chosen = node_id
-                    if top_conf >= self.confidence_threshold or level == cap:
-                        break
-                    parent = hierarchy.nodes[node_id].parent
-                    if parent is not None:
-                        edge = (node_id, parent)
-                        escalations[edge] = escalations.get(edge, 0) + 1
-                pred = predictions[chosen]
-                labels[i] = pred.labels[i]
-                deciding_node[i] = chosen
-                deciding_level[i] = hierarchy.nodes[chosen].level
-                confidence[i] = float(pred.top_confidence[i])
+            for node_id in np.unique(chosen):
+                rows = np.flatnonzero(chosen == node_id)
+                labels[rows] = predictions[node_id].labels[rows]
+                deciding_node[rows] = node_id
+                deciding_level[rows] = hierarchy.nodes[node_id].level
+                confidence[rows] = top_conf[node_id][rows]
 
             messages = self._escalation_messages(escalations)
         if obs.enabled():

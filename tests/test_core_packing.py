@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.hypervector import random_bipolar
 from repro.core.packing import (
@@ -29,9 +31,13 @@ class TestBipolarPacking:
         with pytest.raises(ValueError):
             pack_bipolar(np.array([1.0, 0.0, -1.0]))
 
-    def test_2d_rejected(self):
+    def test_3d_rejected(self):
         with pytest.raises(ValueError):
-            pack_bipolar(np.ones((2, 4)))
+            pack_bipolar(np.ones((2, 3, 4)))
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            pack_bipolar(np.empty((2, 0)))
 
     def test_wrong_length_rejected(self):
         hv = random_bipolar(64, seed=2)
@@ -43,6 +49,73 @@ class TestBipolarPacking:
         # Any sign-definite values pack by sign.
         unpacked = unpack_bipolar(pack_bipolar(hv), 32)
         assert np.array_equal(unpacked, np.sign(hv).astype(np.int8))
+
+
+class TestBipolarBatchPacking:
+    """2-D (n_samples, dimension) batches pack row-aligned."""
+
+    @pytest.mark.parametrize("dim", [1, 7, 8, 9, 63, 64, 65, 100])
+    @pytest.mark.parametrize("n", [1, 3, 5])
+    def test_roundtrip(self, n, dim):
+        batch = random_bipolar(dim, count=n, seed=dim * 31 + n)
+        payload = pack_bipolar(batch)
+        assert np.array_equal(
+            unpack_bipolar(payload, dim, n_samples=n), batch
+        )
+
+    def test_row_aligned_layout(self):
+        """Batch payload == concatenation of per-row payloads."""
+        batch = random_bipolar(13, count=4, seed=9)
+        assert pack_bipolar(batch) == b"".join(
+            pack_bipolar(row) for row in batch
+        )
+
+    def test_batch_size_charged(self):
+        batch = random_bipolar(4000, count=6, seed=10)
+        assert len(pack_bipolar(batch)) == 6 * 500
+
+    def test_empty_batch(self):
+        payload = pack_bipolar(np.empty((0, 16)))
+        assert payload == b""
+        assert unpack_bipolar(payload, 16, n_samples=0).shape == (0, 16)
+
+    def test_wrong_batch_length_rejected(self):
+        batch = random_bipolar(16, count=3, seed=11)
+        with pytest.raises(ValueError):
+            unpack_bipolar(pack_bipolar(batch), 16, n_samples=4)
+
+    def test_negative_n_samples_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_bipolar(b"", 16, n_samples=-1)
+
+    def test_zero_element_rejected(self):
+        with pytest.raises(ValueError):
+            pack_bipolar(np.array([[1.0, 0.0], [1.0, -1.0]]))
+
+    # Property tests: round-trip holds for every (n, D), in particular
+    # dimensions that are not multiples of 8 or 64.
+    @settings(deadline=None, max_examples=60)
+    @given(
+        n=st.integers(min_value=0, max_value=7),
+        dim=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_roundtrip_property(self, n, dim, seed):
+        batch = random_bipolar(dim, count=n, seed=seed)
+        recovered = unpack_bipolar(pack_bipolar(batch), dim, n_samples=n)
+        assert np.array_equal(recovered, batch)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        dim=st.one_of(
+            st.integers(min_value=1, max_value=7),  # < one byte
+            st.sampled_from([9, 15, 33, 63, 65, 127, 129]),  # off-word
+        ),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_roundtrip_property_1d_odd_dims(self, dim, seed):
+        hv = random_bipolar(dim, seed=seed)
+        assert np.array_equal(unpack_bipolar(pack_bipolar(hv), dim), hv)
 
 
 class TestNarrowIntPacking:

@@ -1,0 +1,182 @@
+"""One unified predict API: every model satisfies the Predictor protocol."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.core.classifier as classifier_mod
+from repro.baselines import (
+    AdaBoostClassifier,
+    KernelSVM,
+    LinearHDClassifier,
+    MLPClassifier,
+)
+from repro.baselines.centralized import CentralizedHD
+from repro.baselines.federated_dnn import VerticalFedMLP
+from repro.core.classifier import HDClassifier, PredictionResult
+from repro.core.model import EdgeHDModel
+from repro.core.predictor import (
+    Predictor,
+    result_from_proba,
+    result_from_scores,
+)
+from repro.data import make_classification, partition_features
+from repro.hierarchy import build_tree
+
+
+@pytest.fixture(scope="module")
+def data():
+    x, y = make_classification(
+        n_samples=240, n_features=10, n_classes=3, seed=41, name="proto"
+    )
+    return x[:200], y[:200], x[200:], y[200:]
+
+
+def _fitted_models(data):
+    """One fitted instance of every user-facing model type."""
+    train_x, train_y, _, _ = data
+    hd = EdgeHDModel(10, 3, dimension=256, seed=1)
+    hd.fit(train_x, train_y, retrain_epochs=2)
+    linear = LinearHDClassifier(10, 3, dimension=256, seed=2)
+    linear.fit(train_x, train_y, retrain_epochs=2)
+    svm = KernelSVM(10, 3, n_components=64, epochs=2, seed=3)
+    svm.fit(train_x, train_y)
+    ada = AdaBoostClassifier(10, 3, n_estimators=5, seed=4)
+    ada.fit(train_x, train_y)
+    mlp = MLPClassifier(10, 3, hidden_sizes=(16,), epochs=2, seed=5)
+    mlp.fit(train_x, train_y)
+    partition = partition_features(10, 2)
+    fed = VerticalFedMLP(partition, 3, embedding_dim=8, hidden_dim=16,
+                         epochs=2, seed=6)
+    fed.fit(train_x, train_y)
+    central = CentralizedHD(build_tree(2), partition, 3)
+    central.fit(train_x, train_y)
+    clf = HDClassifier(3, 256)
+    clf.fit_initial(hd.encoder.encode(train_x), train_y)
+    return {
+        "EdgeHDModel": (hd, train_x),
+        "LinearHDClassifier": (linear, train_x),
+        "KernelSVM": (svm, train_x),
+        "AdaBoostClassifier": (ada, train_x),
+        "MLPClassifier": (mlp, train_x),
+        "VerticalFedMLP": (fed, train_x),
+        "CentralizedHD": (central, train_x),
+        "HDClassifier": (clf, hd.encoder.encode(train_x)),
+    }
+
+
+@pytest.fixture(scope="module")
+def models(data):
+    return _fitted_models(data)
+
+
+class TestProtocolConformance:
+    def test_every_model_is_a_predictor(self, models):
+        for name, (model, _) in models.items():
+            assert isinstance(model, Predictor), name
+
+    def test_predict_returns_prediction_result(self, models):
+        for name, (model, x) in models.items():
+            result = model.predict(x[:16])
+            assert isinstance(result, PredictionResult), name
+            assert result.labels.shape == (16,), name
+            assert result.similarities.shape == (16, 3), name
+            assert result.confidences.shape == (16, 3), name
+
+    def test_predict_labels_matches_predict(self, models):
+        for name, (model, x) in models.items():
+            assert np.array_equal(
+                model.predict_labels(x[:16]), model.predict(x[:16]).labels
+            ), name
+
+    def test_predict_proba_rows_sum_to_one(self, models):
+        for name, (model, x) in models.items():
+            proba = model.predict_proba(x[:16])
+            assert proba.shape == (16, 3), name
+            assert np.allclose(proba.sum(axis=1), 1.0), name
+            assert (proba >= 0).all(), name
+
+    def test_labels_are_argmax_of_confidences(self, models):
+        for name, (model, x) in models.items():
+            result = model.predict(x[:16])
+            assert np.array_equal(
+                result.labels, np.argmax(result.confidences, axis=1)
+            ), name
+
+
+class TestResultHelpers:
+    def test_result_from_scores(self):
+        scores = np.array([[0.1, 0.9, 0.0], [2.0, -1.0, 0.5]])
+        result = result_from_scores(scores)
+        assert np.array_equal(result.labels, [1, 0])
+        assert result.similarities is scores or np.array_equal(
+            result.similarities, scores
+        )
+        assert np.allclose(result.confidences.sum(axis=1), 1.0)
+
+    def test_result_from_proba(self):
+        proba = np.array([[0.2, 0.8], [0.7, 0.3]])
+        result = result_from_proba(proba)
+        assert np.array_equal(result.labels, [1, 0])
+        assert np.array_equal(result.confidences, proba)
+
+    def test_top_confidence(self):
+        result = result_from_proba(np.array([[0.2, 0.8], [0.7, 0.3]]))
+        assert np.allclose(result.top_confidence, [0.8, 0.7])
+
+
+class TestDeprecationShims:
+    """Old bare-array call sites keep working, with a one-time warning."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_state(self):
+        saved = set(classifier_mod._legacy_result_warned)
+        classifier_mod._legacy_result_warned.clear()
+        yield
+        classifier_mod._legacy_result_warned.clear()
+        classifier_mod._legacy_result_warned.update(saved)
+
+    @pytest.fixture()
+    def result(self):
+        return result_from_proba(np.array([[0.2, 0.8], [0.7, 0.3]]))
+
+    def test_asarray_warns_and_returns_labels(self, result):
+        with pytest.warns(DeprecationWarning, match="np.asarray"):
+            labels = np.asarray(result)
+        assert np.array_equal(labels, [1, 0])
+
+    def test_iteration_warns(self, result):
+        with pytest.warns(DeprecationWarning, match="iteration"):
+            assert list(result) == [1, 0]
+
+    def test_indexing_warns(self, result):
+        with pytest.warns(DeprecationWarning, match="indexing"):
+            assert result[0] == 1
+
+    def test_eq_against_array_warns_and_compares_labels(self, result):
+        with pytest.warns(DeprecationWarning, match="comparison"):
+            mask = result == np.array([1, 1])
+        assert np.array_equal(mask, [True, False])
+        # The classic accuracy idiom still computes correctly.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert np.mean(result == np.array([1, 0])) == 1.0
+
+    def test_eq_between_results_is_exact_and_silent(self, result):
+        other = result_from_proba(np.array([[0.2, 0.8], [0.7, 0.3]]))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert result == other
+            assert len(result) == 2  # len() is not deprecated
+
+    def test_warning_fires_once_per_behavior(self, result):
+        with pytest.warns(DeprecationWarning):
+            result[0]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result[1]  # second use of the same behavior: silent
+
+    def test_unhashable(self, result):
+        with pytest.raises(TypeError):
+            hash(result)
