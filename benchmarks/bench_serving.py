@@ -1,0 +1,245 @@
+"""Serving-runtime benchmark: throughput vs tail latency (Sec. IV-C).
+
+Drives a trained TREE federation through :mod:`repro.serve` across a
+grid of micro-batch windows x escalation confidence thresholds x
+dense/packed search backends, all under the same open-loop Poisson
+arrival stream. Each cell reports sustained throughput, exact
+p50/p95/p99 total latency, the per-stage breakdown, escalation volume
+and accuracy — the live-system counterpart of the offline message
+accounting in ``repro.hierarchy.inference``.
+
+Emits ``benchmarks/results/BENCH_serving.json`` plus a human-readable
+table. Run standalone with ``python benchmarks/bench_serving.py
+[--smoke]``; ``--smoke`` skips the timing grid and only runs the
+timing-independent checks (served answers identical to the offline
+walk; overload sheds instead of growing queues), which is also what
+``tests/test_bench_serving_smoke.py`` exercises.
+"""
+
+import numpy as np
+from _common import bench_scale, save_json, save_report
+
+from repro.config import EdgeHDConfig
+from repro.data import DATASETS, load_dataset, partition_features
+from repro.hierarchy import (
+    EdgeHDFederation,
+    HierarchicalInference,
+    build_tree,
+)
+from repro.network.medium import get_medium
+from repro.serve import ServeConfig, ServingRuntime, make_workload
+
+DATASET = "APRI"
+MEDIUM = "wifi-802.11ac"
+
+#: grid: micro-batch window (ms) x confidence threshold x backend.
+WAIT_WINDOWS_MS = (0.5, 2.0, 8.0)
+THRESHOLDS = (0.6, 0.8, 0.95)
+BACKENDS = ("dense", "packed")
+MAX_BATCH = 32
+RATE_RPS = 1500.0
+
+
+def train_federation(scale=None):
+    """One TREE federation on the benchmark dataset; reused per cell."""
+    scale = scale or bench_scale()
+    spec = DATASETS[DATASET]
+    data = load_dataset(
+        DATASET, scale=scale.data_scale, max_train=scale.max_train,
+        max_test=scale.max_test, seed=7,
+    )
+    partition = partition_features(data.n_features, spec.n_end_nodes)
+    config = EdgeHDConfig(
+        dimension=scale.dimension, retrain_epochs=scale.retrain_epochs,
+        batch_size=scale.batch_size, seed=7,
+    )
+    federation = EdgeHDFederation(
+        build_tree(spec.n_end_nodes), partition, data.n_classes, config
+    )
+    federation.fit_offline(data.train_x, data.train_y)
+    return federation, data
+
+
+def run_cell(federation, data, wait_ms, threshold, backend):
+    inference = HierarchicalInference(
+        federation, confidence_threshold=threshold, backend=backend
+    )
+    workload = make_workload(data.test_x, inference, seed=3, labels=data.test_y)
+    runtime = ServingRuntime(
+        inference,
+        get_medium(MEDIUM),
+        ServeConfig(
+            max_batch=MAX_BATCH,
+            max_wait_ms=wait_ms,
+            queue_depth=max(64, len(workload)),
+        ),
+    )
+    result = runtime.serve_open_loop(workload, rate_rps=RATE_RPS, seed=1)
+    assert result.n_shed == 0, "grid cells must run below overload"
+    labels = np.asarray([r.label for r in result.responses])
+    return {
+        "max_wait_ms": wait_ms,
+        "threshold": threshold,
+        "backend": backend,
+        "n_requests": result.n_total,
+        "throughput_rps": result.throughput_rps,
+        "latency_ms": result.percentiles(),
+        "stages": result.stage_breakdown(),
+        "escalated": int(sum(result.escalations.values())),
+        "wire_bytes": result.wire_bytes,
+        "energy_j": result.energy_j,
+        "accuracy": workload.accuracy(labels),
+    }
+
+
+def run_grid(scale=None) -> dict:
+    federation, data = train_federation(scale)
+    cells = [
+        run_cell(federation, data, wait_ms, threshold, backend)
+        for backend in BACKENDS
+        for threshold in THRESHOLDS
+        for wait_ms in WAIT_WINDOWS_MS
+    ]
+    return {
+        "dataset": DATASET,
+        "medium": MEDIUM,
+        "rate_rps": RATE_RPS,
+        "max_batch": MAX_BATCH,
+        "note": (
+            "open-loop Poisson arrivals; exact percentiles over "
+            "per-request totals (queue wait + encode + search + "
+            "escalation RTT)"
+        ),
+        "cells": cells,
+    }
+
+
+def format_grid(payload: dict) -> str:
+    lines = [
+        f"Serving {payload['dataset']} over {payload['medium']} at "
+        f"{payload['rate_rps']:.0f} req/s (open-loop Poisson)",
+        f"{'backend':>7} {'thresh':>6} {'wait ms':>7} {'rps':>6} "
+        f"{'p50':>7} {'p95':>7} {'p99':>7} {'escal':>6} {'acc':>6}",
+    ]
+    for c in payload["cells"]:
+        p = c["latency_ms"]
+        lines.append(
+            f"{c['backend']:>7} {c['threshold']:>6.2f} "
+            f"{c['max_wait_ms']:>7.1f} {c['throughput_rps']:>6.0f} "
+            f"{p['p50']:>7.2f} {p['p95']:>7.2f} {p['p99']:>7.2f} "
+            f"{c['escalated']:>6d} {c['accuracy']:>6.3f}"
+        )
+    lines.append(
+        "(p50/p95/p99 in ms over per-request total latency; 'escal' = "
+        "queries escalated past their entry node)"
+    )
+    return "\n".join(lines)
+
+
+def check_equivalence() -> dict:
+    """Timing-independent smoke: serving == offline, overload sheds.
+
+    Asserts (a) the served labels / deciding nodes / levels / message
+    accounting match ``HierarchicalInference.run`` on the same queries
+    and seed, and (b) an overloaded shed-policy run terminates with
+    counted sheds and bounded queue high-water marks. Returns the
+    evidence so callers can report it.
+    """
+    data = load_dataset(DATASET, scale=0.05, max_train=600, max_test=200, seed=7)
+    spec = DATASETS[DATASET]
+    federation = EdgeHDFederation(
+        build_tree(spec.n_end_nodes),
+        partition_features(data.n_features, spec.n_end_nodes),
+        data.n_classes,
+        EdgeHDConfig(dimension=512, retrain_epochs=3, batch_size=10, seed=7),
+    )
+    federation.fit_offline(data.train_x, data.train_y)
+    inference = HierarchicalInference(federation, confidence_threshold=0.8)
+    workload = make_workload(data.test_x, inference, seed=3)
+    offline = inference.run(data.test_x, seed=3)
+
+    runtime = ServingRuntime(
+        inference,
+        get_medium("wired-1gbps"),
+        ServeConfig(max_batch=8, max_wait_ms=1.0, queue_depth=512),
+    )
+    served = runtime.serve_open_loop(workload, rate_rps=2000.0, seed=1)
+    out = served.to_outcome()
+    if not np.array_equal(out.labels, offline.labels):
+        raise AssertionError("served labels differ from the offline walk")
+    if not np.array_equal(out.deciding_node, offline.deciding_node):
+        raise AssertionError("served deciding nodes differ from offline")
+    if not np.array_equal(out.deciding_level, offline.deciding_level):
+        raise AssertionError("served deciding levels differ from offline")
+    if out.total_bytes != offline.total_bytes:
+        raise AssertionError(
+            f"served message accounting ({out.total_bytes} B) differs "
+            f"from offline ({offline.total_bytes} B)"
+        )
+
+    depth = 4
+    overload = ServingRuntime(
+        inference,
+        get_medium("bluetooth-4.0"),
+        ServeConfig(
+            max_batch=4, max_wait_ms=0.5, queue_depth=depth,
+            policy="shed", service_time_base_s=0.004,
+        ),
+    )
+    shed_run = overload.serve_open_loop(workload, rate_rps=5000.0, seed=1)
+    if shed_run.n_shed == 0:
+        raise AssertionError("overload run shed nothing — not overloaded?")
+    high_water = max(shed_run.queue_high_water.values())
+    if high_water > depth:
+        raise AssertionError(
+            f"queue high-water {high_water} exceeded bound {depth}"
+        )
+    if shed_run.n_total != len(workload):
+        raise AssertionError(
+            "overload run lost requests: "
+            f"{shed_run.n_total}/{len(workload)} terminal responses"
+        )
+    return {
+        "n_queries": len(workload),
+        "labels_equal": True,
+        "bytes_equal": True,
+        "overload_shed": shed_run.n_shed,
+        "overload_high_water": high_water,
+    }
+
+
+def bench_serving(benchmark):
+    """pytest-benchmark entry: full grid + the equivalence smoke."""
+    payload = benchmark.pedantic(
+        run_grid, rounds=1, iterations=1, warmup_rounds=0
+    )
+    payload["smoke"] = check_equivalence()
+    save_json("BENCH_serving", payload)
+    save_report("bench_serving", format_grid(payload))
+    for cell in payload["cells"]:
+        assert cell["latency_ms"]["p99"] >= cell["latency_ms"]["p50"]
+
+
+def main(argv=None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="skip the timing grid; only run the timing-independent "
+        "serving-vs-offline equivalence + overload shedding checks",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        evidence = check_equivalence()
+        print(f"serving smoke OK: {evidence}")
+        return
+    payload = run_grid()
+    payload["smoke"] = check_equivalence()
+    save_json("BENCH_serving", payload)
+    save_report("bench_serving", format_grid(payload))
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,10 @@ Subcommands
 ``federate``
     Run federated training over a STAR/TREE/PECAN hierarchy and report
     per-level accuracy and communication volume.
+``serve-bench``
+    Train a federation and serve its test set live through the asyncio
+    runtime (:mod:`repro.serve`): micro-batching, bounded queues, and a
+    per-stage latency breakdown with p50/p95/p99.
 ``reproduce``
     Regenerate one (or all) of the paper's tables/figures.
 ``datasets``
@@ -172,10 +176,84 @@ def _cmd_federate(args: argparse.Namespace) -> int:
     training = simulator.simulate_upward_pass(report.messages)
     queries = simulator.simulate_independent(outcome.messages)
     replay = training.merge(queries)
+    pct = replay.latency_percentiles()
     print(
         f"  {args.medium} replay: {replay.makespan_s * 1e3:.1f} ms makespan, "
         f"{replay.energy_j * 1e3:.2f} mJ, {replay.delivered} messages delivered"
     )
+    print(
+        f"  per-message latency: p50 {pct['p50']:.2f} ms, "
+        f"p95 {pct['p95']:.2f} ms, p99 {pct['p99']:.2f} ms"
+    )
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Train a federation and drive it through the serving runtime."""
+    spec = DATASETS[args.dataset]
+    if not spec.is_hierarchical:
+        print(
+            f"error: {args.dataset} has no end-node layout; choose one of "
+            f"PECAN/PAMAP2/APRI/PDP", file=sys.stderr,
+        )
+        return 2
+    data = load_dataset(
+        args.dataset, scale=args.scale,
+        max_train=args.max_train, max_test=args.max_test, seed=args.seed,
+    )
+    if args.topology == "star":
+        hierarchy = build_star(spec.n_end_nodes)
+    elif args.topology == "pecan":
+        hierarchy = build_pecan(n_appliances=spec.n_end_nodes)
+    else:
+        hierarchy = build_tree(spec.n_end_nodes)
+    partition = partition_features(data.n_features, spec.n_end_nodes)
+    config = EdgeHDConfig(
+        dimension=args.dimension, retrain_epochs=args.epochs,
+        batch_size=args.batch_size, seed=args.seed,
+    )
+    federation = EdgeHDFederation(hierarchy, partition, data.n_classes, config)
+    federation.fit_offline(data.train_x, data.train_y)
+
+    from repro.network.medium import get_medium
+    from repro.serve import ServeConfig, ServingRuntime, make_workload
+
+    inference = HierarchicalInference(
+        federation,
+        confidence_threshold=args.threshold,
+        backend=args.backend,
+    )
+    workload = make_workload(
+        data.test_x, inference, seed=args.seed, labels=data.test_y
+    )
+    serve_config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_depth=args.queue_depth,
+        policy=args.policy,
+    )
+    runtime = ServingRuntime(inference, get_medium(args.medium), serve_config)
+    print(
+        f"{args.dataset} over {args.topology.upper()} "
+        f"({len(hierarchy.nodes)} nodes), {args.backend} backend, "
+        f"threshold {args.threshold}, medium {args.medium}"
+    )
+    if args.closed_loop:
+        print(f"closed loop: {args.clients} clients")
+        result = runtime.serve_closed_loop(workload, n_clients=args.clients)
+    else:
+        print(f"open loop: Poisson arrivals at {args.rate:.0f} req/s")
+        result = runtime.serve_open_loop(
+            workload, rate_rps=args.rate, seed=args.seed
+        )
+    print(result.summary())
+    if result.n_answered:
+        served_labels = [r.label for r in result.answered]
+        truth = data.test_y[[r.index for r in result.answered]]
+        import numpy as np
+
+        accuracy = float(np.mean(np.asarray(served_labels) == truth))
+        print(f"accuracy (answered): {accuracy:.3f}")
     return 0
 
 
@@ -238,7 +316,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         ),
     )
     if args.output:
-        Path(args.output).write_text(markdown)
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(markdown)
         print(f"wrote {args.output} ({len(sections)} sections)")
     else:
         print(markdown)
@@ -312,6 +392,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="medium for the network replay summary",
     )
 
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="serve escalating inference live (micro-batching, backpressure)",
+    )
+    add_data_args(serve_bench)
+    serve_bench.add_argument(
+        "--topology", default="tree", choices=("star", "tree", "pecan")
+    )
+    serve_bench.add_argument("--batch-size", type=int, default=10)
+    serve_bench.add_argument(
+        "--medium", default="wifi-802.11ac",
+        choices=("wired-1gbps", "wired-500mbps", "wifi-802.11ac",
+                 "wifi-802.11n", "bluetooth-4.0"),
+    )
+    serve_bench.add_argument(
+        "--backend", default="dense", choices=("dense", "packed")
+    )
+    serve_bench.add_argument(
+        "--threshold", type=float, default=0.8,
+        help="escalation confidence threshold",
+    )
+    serve_bench.add_argument("--max-batch", type=int, default=32)
+    serve_bench.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve_bench.add_argument("--queue-depth", type=int, default=64)
+    serve_bench.add_argument(
+        "--policy", default="block", choices=("block", "shed")
+    )
+    serve_bench.add_argument(
+        "--rate", type=float, default=500.0,
+        help="open-loop Poisson arrival rate (req/s)",
+    )
+    serve_bench.add_argument(
+        "--closed-loop", action="store_true",
+        help="closed loop instead of open-loop arrivals",
+    )
+    serve_bench.add_argument(
+        "--clients", type=int, default=4,
+        help="in-flight requests in closed-loop mode",
+    )
+
     report = sub.add_parser(
         "report", help="aggregate saved benchmark reports into markdown"
     )
@@ -347,12 +467,13 @@ _HANDLERS = {
     "report": _cmd_report,
     "train": _cmd_train,
     "federate": _cmd_federate,
+    "serve-bench": _cmd_serve_bench,
     "reproduce": _cmd_reproduce,
     "stats": _cmd_stats,
 }
 
 #: commands that record metrics and persist them on exit.
-_INSTRUMENTED = {"train", "federate", "reproduce"}
+_INSTRUMENTED = {"train", "federate", "serve-bench", "reproduce"}
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

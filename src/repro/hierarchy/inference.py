@@ -161,15 +161,7 @@ class HierarchicalInference:
             unknown = set(start_leaves.tolist()) - set(leaves)
             if unknown:
                 raise ValueError(f"start_leaves contains non-leaf ids {unknown}")
-        depth = hierarchy.depth
-        cap = depth if max_level is None else min(max_level, depth)
-        if cap < 1:
-            raise ValueError("max_level must be >= 1")
-        if self.min_level > cap:
-            raise ValueError(
-                f"min_level {self.min_level} exceeds the effective "
-                f"escalation cap {cap}"
-            )
+        cap = self.effective_cap(max_level)
 
         # Precompute encodings and predictions at every node for the
         # whole batch (one vectorized associative search per node);
@@ -257,7 +249,7 @@ class HierarchicalInference:
                 deciding_level[rows] = hierarchy.nodes[node_id].level
                 confidence[rows] = top_conf[node_id][rows]
 
-            messages = self._escalation_messages(escalations)
+            messages = self.escalation_messages(escalations)
         if obs.enabled():
             self._record_metrics(escalations, deciding_level, confidence)
         return InferenceOutcome(
@@ -299,7 +291,24 @@ class HierarchicalInference:
             deciding_level.size, len(escalations),
         )
 
-    def _escalation_messages(
+    def effective_cap(self, max_level: Optional[int] = None) -> int:
+        """Highest level allowed to answer (``max_level`` vs depth).
+
+        Shared by :meth:`run` and the serving runtime
+        (:mod:`repro.serve`) so both apply the same escalation ceiling.
+        """
+        depth = self.federation.hierarchy.depth
+        cap = depth if max_level is None else min(max_level, depth)
+        if cap < 1:
+            raise ValueError("max_level must be >= 1")
+        if self.min_level > cap:
+            raise ValueError(
+                f"min_level {self.min_level} exceeds the effective "
+                f"escalation cap {cap}"
+            )
+        return cap
+
+    def escalation_messages(
         self, escalations: Dict[tuple[int, int], int]
     ) -> List[Message]:
         """Charge compressed query bundles for the escalated queries.
@@ -309,7 +318,9 @@ class HierarchicalInference:
         i.e. the children ship their encodings upward. We charge the
         parent's input dimensionality per query, divided across
         compressed bundles of ``m`` queries with narrow packed
-        elements (see compressed_bundle_bytes).
+        elements (see compressed_bundle_bytes). Also used by the
+        serving runtime (:mod:`repro.serve`) to rebuild an
+        offline-comparable message list from its escalation counts.
         """
         messages: List[Message] = []
         hierarchy = self.federation.hierarchy

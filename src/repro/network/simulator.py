@@ -51,6 +51,9 @@ class SimulationResult:
     dropped: int
     retransmissions: int
     bytes_by_kind: Dict[MessageKind, int] = field(default_factory=dict)
+    #: per-delivered-message latency (seconds): queueing on the shared
+    #: link plus every transmission attempt, i.e. delivery − ready.
+    latencies_s: List[float] = field(default_factory=list)
 
     def merge(self, other: "SimulationResult") -> "SimulationResult":
         """Combine two sequential phases (times add, counters add)."""
@@ -66,7 +69,23 @@ class SimulationResult:
             dropped=self.dropped + other.dropped,
             retransmissions=self.retransmissions + other.retransmissions,
             bytes_by_kind=kinds,
+            latencies_s=list(self.latencies_s) + list(other.latencies_s),
         )
+
+    def latency_percentiles(
+        self, qs: Tuple[float, ...] = (50, 95, 99)
+    ) -> Dict[str, float]:
+        """Exact per-message latency percentiles in **milliseconds**.
+
+        Computed over delivered messages only (a dropped message has no
+        delivery time); all-zero when nothing was delivered.
+        """
+        if not self.latencies_s:
+            return {f"p{q:g}": 0.0 for q in qs}
+        import numpy as np
+
+        lat_ms = np.asarray(self.latencies_s, dtype=np.float64) * 1e3
+        return {f"p{q:g}": float(np.percentile(lat_ms, q)) for q in qs}
 
 
 #: pseudo-link used when the whole network is one contention domain.
@@ -243,6 +262,7 @@ class NetworkSimulator:
         )
         if delivered:
             total.delivered += 1
+            total.latencies.append(end - ready)
             obs.incr("network.delivered")
             return end
         total.dropped += 1
@@ -266,6 +286,7 @@ class _Totals:
         self.dropped = 0
         self.retransmissions = 0
         self.bytes_by_kind: Dict[MessageKind, int] = {}
+        self.latencies: List[float] = []
 
     def result(self) -> SimulationResult:
         return SimulationResult(
@@ -277,4 +298,5 @@ class _Totals:
             dropped=self.dropped,
             retransmissions=self.retransmissions,
             bytes_by_kind=self.bytes_by_kind,
+            latencies_s=self.latencies,
         )

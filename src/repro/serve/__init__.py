@@ -1,0 +1,62 @@
+"""``repro.serve`` — async hierarchical inference serving (Sec. IV-C live).
+
+Turns a trained :class:`~repro.hierarchy.inference.HierarchicalInference`
+tree into a live service: requests arrive over time at end nodes, each
+node micro-batches its bounded inbox (flush on ``max_batch`` or
+``max_wait_ms``), classifies the cohort in one vectorized associative
+search, and escalates low-confidence queries upward in compressed
+``m``-query bundles whose transfer time and energy are charged through
+the configured :class:`~repro.network.medium.Medium`. Bounded queues
+apply backpressure under overload — block the producer or shed load,
+policy-selectable.
+
+The decision rule at every node is *identical* to the offline batch
+walk of :meth:`HierarchicalInference.run`; on the same queries (same
+seed) the served answers, escalation decisions and aggregate wire bytes
+match the offline outcome exactly (verified by the serving benchmark's
+smoke mode and tier-1 tests).
+
+Quickstart::
+
+    from repro.serve import ServeConfig, ServingRuntime, make_workload
+    from repro.network.medium import get_medium
+
+    runtime = ServingRuntime(inference, get_medium("wifi-802.11ac"),
+                             ServeConfig(max_batch=16, max_wait_ms=2.0))
+    workload = make_workload(test_x, inference, seed=7)
+    result = runtime.serve_open_loop(workload, rate_rps=500.0, seed=7)
+    print(result.summary())
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.queueing import BoundedQueue, QueueStats, ShedError
+from repro.serve.request import (
+    ServeRequest,
+    ServeResponse,
+    ServeResult,
+    StageTimings,
+)
+from repro.serve.runtime import ServeConfig, ServingRuntime
+from repro.serve.workload import (
+    ServeWorkload,
+    make_workload,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+
+__all__ = [
+    "BoundedQueue",
+    "MicroBatcher",
+    "QueueStats",
+    "ServeConfig",
+    "ServeRequest",
+    "ServeResponse",
+    "ServeResult",
+    "ServeWorkload",
+    "ServingRuntime",
+    "ShedError",
+    "StageTimings",
+    "make_workload",
+    "poisson_arrivals",
+    "uniform_arrivals",
+]

@@ -1,0 +1,104 @@
+"""Bounded request queues with selectable backpressure policy.
+
+Every node in the serving tree owns one :class:`BoundedQueue`. Under
+overload the queue never grows past ``maxsize``; what happens to the
+excess is the *policy*:
+
+* ``"block"`` — the producer awaits until space frees up. Backpressure
+  propagates: a slow parent stalls its children's escalations, which
+  fills their inboxes, which eventually stalls admission. Memory stays
+  bounded and no request is lost, at the cost of rising admission
+  delay.
+* ``"shed"`` — ``offer`` fails immediately when full and the caller
+  decides how to degrade (reject at admission, answer with the current
+  low-confidence decision at escalation). Latency stays bounded at the
+  cost of lost work, counted in :class:`QueueStats`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["BoundedQueue", "QueueStats", "ShedError", "POLICIES"]
+
+POLICIES = ("block", "shed")
+
+
+class ShedError(Exception):
+    """Raised by :meth:`BoundedQueue.offer` when a full queue sheds."""
+
+
+@dataclass
+class QueueStats:
+    """Occupancy and loss counters for one queue."""
+
+    enqueued: int = 0
+    shed: int = 0
+    #: deepest occupancy ever observed (bounded-memory witness).
+    high_water: int = 0
+
+
+class BoundedQueue:
+    """An ``asyncio.Queue`` wrapper enforcing one backpressure policy."""
+
+    def __init__(self, maxsize: int, policy: str = "block") -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"policy must be one of {POLICIES}, got {policy!r}"
+            )
+        self.maxsize = int(maxsize)
+        self.policy = policy
+        self.stats = QueueStats()
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=self.maxsize)
+
+    def __len__(self) -> int:
+        return self._queue.qsize()
+
+    async def put(self, item: Any) -> None:
+        """Enqueue under the configured policy.
+
+        Blocks under ``"block"``; raises :class:`ShedError` (after
+        counting the shed) under ``"shed"`` when full.
+        """
+        if self.policy == "shed":
+            try:
+                self._queue.put_nowait(item)
+            except asyncio.QueueFull:
+                self.stats.shed += 1
+                raise ShedError(
+                    f"queue full ({self.maxsize}), item shed"
+                ) from None
+        else:
+            await self._queue.put(item)
+        self.stats.enqueued += 1
+        depth = self._queue.qsize()
+        if depth > self.stats.high_water:
+            self.stats.high_water = depth
+
+    def offer(self, item: Any) -> bool:
+        """Non-blocking enqueue; returns False (and counts a shed) when
+        full. Usable under either policy — with ``"block"`` semantics a
+        False return lets the caller choose to fall back to ``put``."""
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            self.stats.shed += 1
+            return False
+        self.stats.enqueued += 1
+        depth = self._queue.qsize()
+        if depth > self.stats.high_water:
+            self.stats.high_water = depth
+        return True
+
+    async def get(self) -> Any:
+        return await self._queue.get()
+
+    def get_nowait(self) -> Any:
+        return self._queue.get_nowait()
+
+    def empty(self) -> bool:
+        return self._queue.empty()

@@ -1,0 +1,224 @@
+"""Request / response / result types for the serving runtime.
+
+A :class:`ServeRequest` is one query travelling through the node tree;
+it carries the per-stage latency accumulators and the escalation path
+so that the final :class:`ServeResponse` can report where time went:
+queue wait, encode, associative search, and escalation round-trip.
+
+:class:`ServeResult` aggregates a whole run and computes **exact**
+latency percentiles from the recorded per-request values (unlike the
+fixed-bucket :mod:`repro.obs` histograms, which approximate) — the
+numbers ``BENCH_serving.json`` and ``repro serve-bench`` report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["StageTimings", "ServeRequest", "ServeResponse", "ServeResult"]
+
+#: per-stage latency keys, in pipeline order.
+STAGES = ("queue_wait_ms", "encode_ms", "search_ms", "escalation_rtt_ms")
+
+
+@dataclass
+class StageTimings:
+    """Cumulative per-stage latency of one request (milliseconds).
+
+    Batch-level stages (encode, search) charge each cohort member the
+    full stage wall time — that is the latency the request experienced
+    while waiting for its batch to finish.
+    """
+
+    queue_wait_ms: float = 0.0
+    encode_ms: float = 0.0
+    search_ms: float = 0.0
+    escalation_rtt_ms: float = 0.0
+    total_ms: float = 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "queue_wait_ms": self.queue_wait_ms,
+            "encode_ms": self.encode_ms,
+            "search_ms": self.search_ms,
+            "escalation_rtt_ms": self.escalation_rtt_ms,
+            "total_ms": self.total_ms,
+        }
+
+
+@dataclass
+class ServeRequest:
+    """One in-flight query (runtime-internal bookkeeping)."""
+
+    index: int
+    features: np.ndarray
+    start_leaf: int
+    arrival_s: float = 0.0
+    #: set when the request entered its current node's queue.
+    enqueued_s: float = 0.0
+    timings: StageTimings = field(default_factory=StageTimings)
+    #: (label, confidence, node, level) of the last decision-capable
+    #: node visited; None until one is reached (mirrors ``chosen`` in
+    #: the offline walk).
+    decided: Optional[Tuple[int, float, int, int]] = None
+    #: (child, parent) edges this request escalated over — the edges
+    #: the answer descends (and is charged) on the way back.
+    charged_path: List[Tuple[int, int]] = field(default_factory=list)
+    future: Optional["asyncio.Future[ServeResponse]"] = None
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """Terminal outcome of one request."""
+
+    index: int
+    start_leaf: int
+    #: -1 when the request was shed before any node decided.
+    label: int
+    confidence: float
+    deciding_node: int
+    deciding_level: int
+    #: True when admission or escalation shedding degraded / refused
+    #: the request (``deciding_node == -1`` means refused outright).
+    shed: bool
+    timings: StageTimings
+
+    @property
+    def rejected(self) -> bool:
+        return self.deciding_node < 0
+
+
+class ServeResult:
+    """Aggregate outcome of one serving run."""
+
+    def __init__(
+        self,
+        responses: Sequence[ServeResponse],
+        makespan_s: float,
+        energy_j: float,
+        wire_bytes: int,
+        escalations: Dict[Tuple[int, int], int],
+        n_shed_admission: int,
+        n_shed_escalation: int,
+        queue_high_water: Dict[int, int],
+    ) -> None:
+        self.responses = sorted(responses, key=lambda r: r.index)
+        self.makespan_s = float(makespan_s)
+        self.energy_j = float(energy_j)
+        #: bytes actually charged on the wire (per-flush bundles — may
+        #: exceed the offline accounting by bundle fragmentation).
+        self.wire_bytes = int(wire_bytes)
+        #: queries escalated over each (child -> parent) edge.
+        self.escalations = dict(escalations)
+        self.n_shed_admission = int(n_shed_admission)
+        self.n_shed_escalation = int(n_shed_escalation)
+        #: max depth each node's inbox reached (memory bound witness).
+        self.queue_high_water = dict(queue_high_water)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_total(self) -> int:
+        return len(self.responses)
+
+    @property
+    def n_shed(self) -> int:
+        return self.n_shed_admission + self.n_shed_escalation
+
+    @property
+    def answered(self) -> List[ServeResponse]:
+        """Responses carrying a real decision (shed-degraded included)."""
+        return [r for r in self.responses if not r.rejected]
+
+    @property
+    def n_answered(self) -> int:
+        return len(self.answered)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.n_answered / self.makespan_s
+
+    # ------------------------------------------------------------------
+    def latencies_ms(self, stage: str = "total_ms") -> np.ndarray:
+        """Per-request latency array for one stage (answered only)."""
+        values = [getattr(r.timings, stage) for r in self.answered]
+        return np.asarray(values, dtype=np.float64)
+
+    def percentiles(
+        self, stage: str = "total_ms", qs: Sequence[float] = (50, 95, 99)
+    ) -> Dict[str, float]:
+        """Exact latency percentiles, e.g. ``{"p50": ..., "p99": ...}``."""
+        lat = self.latencies_ms(stage)
+        if lat.size == 0:
+            return {f"p{q:g}": 0.0 for q in qs}
+        return {f"p{q:g}": float(np.percentile(lat, q)) for q in qs}
+
+    def stage_breakdown(self) -> Dict[str, Dict[str, float]]:
+        """p50/p95/p99 for every pipeline stage plus the total."""
+        return {
+            stage: self.percentiles(stage)
+            for stage in STAGES + ("total_ms",)
+        }
+
+    # ------------------------------------------------------------------
+    def to_outcome(self):
+        """Convert to an offline-comparable ``InferenceOutcome``.
+
+        The message list is rebuilt from the *aggregated* escalation
+        counts with the same compressed-bundle arithmetic the offline
+        walk uses, so ``total_bytes`` is directly comparable to
+        ``HierarchicalInference.run`` on the same queries. Raises if
+        any request was shed (a shed run has no offline equivalent).
+        """
+        from repro.hierarchy.inference import InferenceOutcome
+
+        if self.n_shed:
+            raise ValueError(
+                f"cannot convert a run with {self.n_shed} shed requests "
+                "to an offline outcome"
+            )
+        rs = self.responses
+        return InferenceOutcome(
+            labels=np.asarray([r.label for r in rs], dtype=np.int64),
+            deciding_node=np.asarray(
+                [r.deciding_node for r in rs], dtype=np.int64
+            ),
+            deciding_level=np.asarray(
+                [r.deciding_level for r in rs], dtype=np.int64
+            ),
+            confidence=np.asarray([r.confidence for r in rs], dtype=np.float64),
+            start_leaf=np.asarray([r.start_leaf for r in rs], dtype=np.int64),
+            messages=list(getattr(self, "_offline_messages", [])),
+        )
+
+    def summary(self) -> str:
+        """Human-readable one-run report."""
+        pct = self.percentiles()
+        lines = [
+            f"requests: {self.n_total} answered: {self.n_answered} "
+            f"shed: {self.n_shed} "
+            f"(admission {self.n_shed_admission}, "
+            f"escalation {self.n_shed_escalation})",
+            f"makespan: {self.makespan_s * 1e3:.1f} ms  "
+            f"throughput: {self.throughput_rps:.0f} req/s",
+            f"latency total: p50 {pct['p50']:.2f} ms  "
+            f"p95 {pct['p95']:.2f} ms  p99 {pct['p99']:.2f} ms",
+        ]
+        for stage in STAGES:
+            p = self.percentiles(stage)
+            lines.append(
+                f"  {stage:<18} p50 {p['p50']:.3f}  p95 {p['p95']:.3f}  "
+                f"p99 {p['p99']:.3f}"
+            )
+        lines.append(
+            f"escalated: {sum(self.escalations.values())} over "
+            f"{len(self.escalations)} edges  wire: "
+            f"{self.wire_bytes / 1024:.1f} KiB  "
+            f"energy: {self.energy_j * 1e3:.2f} mJ"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,576 @@
+"""Asyncio serving runtime over a trained hierarchical inference tree.
+
+Every hierarchy node becomes a :class:`_NodeServer`: a bounded inbox
+(:class:`~repro.serve.queueing.BoundedQueue`), a
+:class:`~repro.serve.batcher.MicroBatcher`, and a processing loop that
+encodes + classifies each micro-batch in one vectorized call and routes
+every cohort member with *exactly* the decision rule of the offline
+walk in :meth:`HierarchicalInference.run`:
+
+* below ``min_level`` — escalate unconditionally (costs a hop);
+* within ``[min_level, cap]`` — record the decision; answer when
+  confident, at the cap, or at the root; otherwise escalate;
+* above ``cap`` (ragged hierarchies) — answer with the last recorded
+  decision, or fall through to the root's model when none exists.
+
+Escalated cohorts travel as compressed ``m``-query bundles (Eq. 3):
+the uplink is charged ``ceil(count / m) * compressed_bundle_bytes``
+through the edge's :class:`~repro.network.medium.Medium` — transfer
+time is simulated with ``asyncio.sleep``, energy and bytes accumulate
+in the result. Answers descend the escalation path as 4-byte
+predictions, exactly the byte accounting of
+:meth:`HierarchicalInference.escalation_messages`.
+
+The runtime computes node encodings from the raw feature rows
+(:meth:`EdgeHDFederation.encode_at` — deterministic, so micro-batch
+composition cannot change any answer) rather than decoding the noisy
+bundles; the offline walk charges wire bytes the same way, which is
+what keeps served and offline outcomes identical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+import repro.obs as obs
+from repro.core.compression import compressed_bundle_bytes
+from repro.hierarchy.inference import HierarchicalInference
+from repro.network.medium import Medium
+from repro.serve.batcher import MicroBatcher
+from repro.serve.queueing import POLICIES, BoundedQueue, ShedError
+from repro.serve.request import ServeRequest, ServeResponse, ServeResult
+from repro.serve.workload import ServeWorkload, poisson_arrivals
+
+__all__ = ["ServeConfig", "ServingRuntime"]
+
+logger = logging.getLogger(__name__)
+
+#: bytes of one downstream prediction (a class index), as charged by
+#: the offline walk.
+_PREDICTION_BYTES = 4
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of the serving runtime."""
+
+    #: flush a node's micro-batch at this size ...
+    max_batch: int = 32
+    #: ... or after this many milliseconds, whichever first.
+    max_wait_ms: float = 2.0
+    #: bounded inbox depth per node.
+    queue_depth: int = 64
+    #: backpressure policy: ``"block"`` or ``"shed"``.
+    policy: str = "block"
+    #: escalation ceiling (``None`` = hierarchy depth), as in
+    #: ``HierarchicalInference.run(max_level=...)``.
+    max_level: Optional[int] = None
+    #: simulated per-flush compute time: ``base + per_query * batch``
+    #: seconds (0 = as fast as the hardware allows; used to model slow
+    #: nodes and to force overload in tests).
+    service_time_base_s: float = 0.0
+    service_time_per_query_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"policy must be one of {POLICIES}, got {self.policy!r}"
+            )
+        if self.service_time_base_s < 0 or self.service_time_per_query_s < 0:
+            raise ValueError("service times must be >= 0")
+
+
+class _NodeServer:
+    """One hierarchy node's inbox, batcher and processing loop."""
+
+    def __init__(
+        self, runtime: "ServingRuntime", node_id: int, config: ServeConfig
+    ) -> None:
+        self.runtime = runtime
+        self.node_id = node_id
+        self.node = runtime.hierarchy.nodes[node_id]
+        self.queue = BoundedQueue(config.queue_depth, config.policy)
+        self.batcher = MicroBatcher(
+            self.queue, config.max_batch, config.max_wait_ms
+        )
+
+    async def run(self) -> None:
+        while True:
+            batch = await self.batcher.next_batch()
+            await self._process(batch)
+
+    # ------------------------------------------------------------------
+    async def _process(self, batch: List[ServeRequest]) -> None:
+        rt = self.runtime
+        inf = rt.inference
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        for req in batch:
+            req.timings.queue_wait_ms += (now - req.enqueued_s) * 1e3
+        cfg = rt.config
+        service = (
+            cfg.service_time_base_s
+            + cfg.service_time_per_query_s * len(batch)
+        )
+        if service > 0:
+            await asyncio.sleep(service)
+
+        level = self.node.level
+        if level < inf.min_level:
+            # Sensing-only tier: never decides, always forwards.
+            await self._escalate(batch)
+            return
+        if level > rt.cap:
+            await self._above_cap(batch)
+            return
+
+        labels, conf = self._predict(batch)
+        answer: List[ServeRequest] = []
+        escalate: List[ServeRequest] = []
+        for i, req in enumerate(batch):
+            req.decided = (int(labels[i]), float(conf[i]), self.node_id, level)
+            if (
+                conf[i] >= inf.confidence_threshold
+                or level == rt.cap
+                or self.node.parent is None
+            ):
+                answer.append(req)
+            else:
+                escalate.append(req)
+        for req in answer:
+            rt._answer(req)
+        if escalate:
+            await self._escalate(escalate)
+
+    async def _above_cap(self, batch: List[ServeRequest]) -> None:
+        """Ragged hierarchy: this node sits past the escalation cap.
+
+        Queries that already saw a decision-capable node answer with
+        that decision; the rest fall through to the root's model — the
+        root predicts and answers unconditionally, charging no extra
+        wire bytes, exactly as the offline walk's fallback.
+        """
+        rt = self.runtime
+        undecided = [req for req in batch if req.decided is None]
+        for req in batch:
+            if req.decided is not None:
+                rt._answer(req)
+        if not undecided:
+            return
+        if self.node_id != rt.root_id:
+            await rt._forward(undecided, rt.root_id)
+            return
+        labels, conf = self._predict(undecided)
+        for i, req in enumerate(undecided):
+            req.decided = (
+                int(labels[i]), float(conf[i]), self.node_id, self.node.level
+            )
+            rt._answer(req)
+
+    # ------------------------------------------------------------------
+    def _predict(
+        self, batch: List[ServeRequest]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One vectorized encode + associative search for the cohort."""
+        rt = self.runtime
+        rows = np.stack([req.features for req in batch])
+        t0 = time.perf_counter()
+        encoded = rt.federation.encode_at(self.node_id, rows, view="own")
+        t1 = time.perf_counter()
+        result = rt.federation.classifiers[self.node_id].predict(
+            encoded, backend=rt.inference.backend
+        )
+        t2 = time.perf_counter()
+        encode_ms = (t1 - t0) * 1e3
+        search_ms = (t2 - t1) * 1e3
+        for req in batch:
+            req.timings.encode_ms += encode_ms
+            req.timings.search_ms += search_ms
+        rt.n_batches += 1
+        if obs.enabled():
+            obs.incr("serve.batches")
+            obs.observe("serve.batch_size", len(batch), bounds=rt._BATCH_BUCKETS)
+            obs.observe("serve.latency.encode_ms", encode_ms)
+            obs.observe("serve.latency.search_ms", search_ms)
+        return result.labels, result.top_confidence
+
+    async def _escalate(self, cohort: List[ServeRequest]) -> None:
+        """Ship the cohort upward as compressed m-query bundles."""
+        rt = self.runtime
+        parent = self.node.parent
+        assert parent is not None, "root nodes never escalate"
+        m = rt.inference.compression_count
+        parent_in_dim = sum(
+            rt.hierarchy.nodes[c].dimension
+            for c in rt.hierarchy.nodes[parent].children
+        )
+        n_bundles = (len(cohort) + m - 1) // m
+        payload = n_bundles * compressed_bundle_bytes(parent_in_dim, m)
+        medium = rt._edge_medium(self.node_id, parent)
+        delay = medium.transfer_time(payload)
+        rt.energy_j += medium.transfer_energy(payload)
+        rt.wire_bytes += payload
+        edge = (self.node_id, parent)
+        rt.escalations[edge] = rt.escalations.get(edge, 0) + len(cohort)
+        if obs.enabled():
+            obs.incr("serve.escalated", len(cohort))
+            obs.incr("serve.escalation.bytes", payload)
+        # Store-and-forward: the uplink transfer occupies this node.
+        await asyncio.sleep(delay)
+        delay_ms = delay * 1e3
+        for req in cohort:
+            req.timings.escalation_rtt_ms += delay_ms
+        await rt._forward(cohort, parent, via_edge=edge)
+
+
+class ServingRuntime:
+    """Serve a trained :class:`HierarchicalInference` tree as a system.
+
+    Parameters
+    ----------
+    inference:
+        The trained escalation pipeline; its threshold, compression
+        count, ``min_level`` and backend all apply verbatim.
+    medium:
+        Link model charged for every escalation / answer transfer.
+    config:
+        Batching, queueing and backpressure tunables.
+    media_by_level:
+        Optional per-child-level medium override, as in
+        :class:`~repro.network.simulator.NetworkSimulator`.
+    """
+
+    _BATCH_BUCKETS = tuple(float(2 ** i) for i in range(0, 11))
+
+    def __init__(
+        self,
+        inference: HierarchicalInference,
+        medium: Medium,
+        config: Optional[ServeConfig] = None,
+        media_by_level: Optional[Dict[int, Medium]] = None,
+    ) -> None:
+        self.inference = inference
+        self.federation = inference.federation
+        self.hierarchy = self.federation.hierarchy
+        self.medium = medium
+        self.media_by_level = media_by_level or {}
+        self.config = config or ServeConfig()
+        self.cap = inference.effective_cap(self.config.max_level)
+        root = self.hierarchy.root_id
+        assert root is not None
+        self.root_id: int = root
+        self._reset_state()
+
+    # ------------------------------------------------------------------
+    def _reset_state(self) -> None:
+        self.nodes: Dict[int, _NodeServer] = {}
+        self.escalations: Dict[Tuple[int, int], int] = {}
+        self.energy_j = 0.0
+        self.wire_bytes = 0
+        self.n_batches = 0
+        self.n_shed_admission = 0
+        self.n_shed_escalation = 0
+        self._responses: List[ServeResponse] = []
+        self._deliveries: set = set()
+        self._t0 = 0.0
+        self._last_completion = 0.0
+
+    def _edge_medium(self, source: int, destination: int) -> Medium:
+        lower = min(
+            self.hierarchy.nodes[source].level,
+            self.hierarchy.nodes[destination].level,
+        )
+        return self.media_by_level.get(lower, self.medium)
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def serve_open_loop(
+        self,
+        workload: ServeWorkload,
+        rate_rps: float,
+        seed: int = 0,
+        arrivals: Optional[np.ndarray] = None,
+    ) -> ServeResult:
+        """Open-loop serving: submit on a fixed arrival schedule.
+
+        ``arrivals`` (absolute seconds) overrides the default Poisson
+        schedule drawn at ``rate_rps`` from ``seed``. Arrivals are
+        honored regardless of system state — under overload the
+        bounded queues shed or block per the configured policy.
+        """
+        if arrivals is None:
+            arrivals = poisson_arrivals(len(workload), rate_rps, seed)
+        else:
+            arrivals = np.asarray(arrivals, dtype=np.float64)
+            if arrivals.shape != (len(workload),):
+                raise ValueError(
+                    f"arrivals must have shape ({len(workload)},), got "
+                    f"{arrivals.shape}"
+                )
+        return asyncio.run(self._serve(workload, arrivals=arrivals))
+
+    def serve_closed_loop(
+        self,
+        workload: ServeWorkload,
+        n_clients: int = 4,
+        think_time_s: float = 0.0,
+    ) -> ServeResult:
+        """Closed-loop serving: ``n_clients`` requests in flight.
+
+        Each client submits its next query once the previous answer
+        (or shed notice) came back, after ``think_time_s``.
+        """
+        if n_clients < 1:
+            raise ValueError(f"n_clients must be >= 1, got {n_clients}")
+        if think_time_s < 0:
+            raise ValueError(
+                f"think_time_s must be >= 0, got {think_time_s}"
+            )
+        return asyncio.run(
+            self._serve(
+                workload, n_clients=n_clients, think_time_s=think_time_s
+            )
+        )
+
+    # ------------------------------------------------------------------
+    async def _serve(
+        self,
+        workload: ServeWorkload,
+        arrivals: Optional[np.ndarray] = None,
+        n_clients: int = 0,
+        think_time_s: float = 0.0,
+    ) -> ServeResult:
+        self._reset_state()
+        loop = asyncio.get_running_loop()
+        self._t0 = loop.time()
+        self._last_completion = self._t0
+        for node_id in self.hierarchy.nodes:
+            self.nodes[node_id] = _NodeServer(self, node_id, self.config)
+        node_tasks = [
+            asyncio.ensure_future(server.run())
+            for server in self.nodes.values()
+        ]
+        requests = [
+            ServeRequest(
+                index=i,
+                features=workload.features[i],
+                start_leaf=int(workload.start_leaves[i]),
+                future=loop.create_future(),
+            )
+            for i in range(len(workload))
+        ]
+        with obs.span(
+            "serve", n=len(requests), policy=self.config.policy,
+            max_batch=self.config.max_batch,
+        ):
+            try:
+                if arrivals is not None:
+                    await self._open_loop(requests, arrivals)
+                else:
+                    clients = [
+                        asyncio.ensure_future(
+                            self._client(requests[c::n_clients], think_time_s)
+                        )
+                        for c in range(n_clients)
+                    ]
+                    await asyncio.gather(*clients)
+                await asyncio.gather(*(req.future for req in requests))
+            finally:
+                for task in node_tasks:
+                    task.cancel()
+                await asyncio.gather(*node_tasks, return_exceptions=True)
+                for server in self.nodes.values():
+                    server.batcher.close()
+                for task in list(self._deliveries):
+                    task.cancel()
+        makespan = max(self._last_completion - self._t0, 0.0)
+        result = ServeResult(
+            responses=self._responses,
+            makespan_s=makespan,
+            energy_j=self.energy_j,
+            wire_bytes=self.wire_bytes,
+            escalations=self.escalations,
+            n_shed_admission=self.n_shed_admission,
+            n_shed_escalation=self.n_shed_escalation,
+            queue_high_water={
+                nid: server.queue.stats.high_water
+                for nid, server in self.nodes.items()
+            },
+        )
+        # Offline-comparable message list (aggregated bundle math).
+        result._offline_messages = self.inference.escalation_messages(
+            self.escalations
+        )
+        logger.info(
+            "serve: %d requests, %d answered, %d shed, %.0f req/s",
+            result.n_total, result.n_answered, result.n_shed,
+            result.throughput_rps,
+        )
+        return result
+
+    async def _open_loop(
+        self, requests: List[ServeRequest], arrivals: np.ndarray
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        for req, at in zip(requests, arrivals):
+            delay = self._t0 + float(at) - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            await self.submit(req)
+
+    async def _client(
+        self, requests: List[ServeRequest], think_time_s: float
+    ) -> None:
+        for req in requests:
+            await self.submit(req)
+            await req.future
+            if think_time_s > 0:
+                await asyncio.sleep(think_time_s)
+
+    # ------------------------------------------------------------------
+    async def submit(self, req: ServeRequest) -> None:
+        """Admit one request at its start leaf (policy applies)."""
+        loop = asyncio.get_running_loop()
+        req.arrival_s = loop.time()
+        req.enqueued_s = req.arrival_s
+        if obs.enabled():
+            obs.incr("serve.requests")
+        try:
+            await self.nodes[req.start_leaf].queue.put(req)
+        except ShedError:
+            self.n_shed_admission += 1
+            if obs.enabled():
+                obs.incr("serve.shed.admission")
+            self._finish(req, label=-1, confidence=0.0, node=-1, level=-1,
+                         shed=True)
+
+    async def _forward(
+        self,
+        cohort: List[ServeRequest],
+        destination: int,
+        via_edge: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        """Hand a cohort to another node's inbox (policy applies).
+
+        ``via_edge`` marks a charged escalation edge: on success it
+        joins the request's answer-descent path; on shed the request
+        degrades to its last decision (the uplink was already spent —
+        the parent dropped the bundle).
+        """
+        loop = asyncio.get_running_loop()
+        queue = self.nodes[destination].queue
+        for req in cohort:
+            req.enqueued_s = loop.time()
+            try:
+                await queue.put(req)
+            except ShedError:
+                self.n_shed_escalation += 1
+                if obs.enabled():
+                    obs.incr("serve.shed.escalation")
+                if req.decided is not None:
+                    self._answer(req, shed=True)
+                else:
+                    self._finish(req, label=-1, confidence=0.0, node=-1,
+                                 level=-1, shed=True)
+                continue
+            if via_edge is not None:
+                req.charged_path.append(via_edge)
+
+    # ------------------------------------------------------------------
+    # answers
+    # ------------------------------------------------------------------
+    def _answer(self, req: ServeRequest, shed: bool = False) -> None:
+        """Complete a request with its recorded decision.
+
+        The 4-byte prediction descends every escalation edge the query
+        climbed; each hop charges its medium's time and energy.
+        """
+        assert req.decided is not None
+        label, confidence, node, level = req.decided
+        delay = 0.0
+        for child, parent in reversed(req.charged_path):
+            medium = self._edge_medium(parent, child)
+            delay += medium.transfer_time(_PREDICTION_BYTES)
+            self.energy_j += medium.transfer_energy(_PREDICTION_BYTES)
+            self.wire_bytes += _PREDICTION_BYTES
+        if delay > 0:
+            req.timings.escalation_rtt_ms += delay * 1e3
+            task = asyncio.ensure_future(
+                self._deliver(req, delay, label, confidence, node, level, shed)
+            )
+            self._deliveries.add(task)
+            task.add_done_callback(self._deliveries.discard)
+        else:
+            self._finish(req, label, confidence, node, level, shed)
+
+    async def _deliver(
+        self,
+        req: ServeRequest,
+        delay: float,
+        label: int,
+        confidence: float,
+        node: int,
+        level: int,
+        shed: bool,
+    ) -> None:
+        await asyncio.sleep(delay)
+        self._finish(req, label, confidence, node, level, shed)
+
+    def _finish(
+        self,
+        req: ServeRequest,
+        label: int,
+        confidence: float,
+        node: int,
+        level: int,
+        shed: bool,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        self._last_completion = max(self._last_completion, now)
+        req.timings.total_ms = (now - req.arrival_s) * 1e3
+        response = ServeResponse(
+            index=req.index,
+            start_leaf=req.start_leaf,
+            label=label,
+            confidence=confidence,
+            deciding_node=node,
+            deciding_level=level,
+            shed=shed,
+            timings=req.timings,
+        )
+        self._responses.append(response)
+        if obs.enabled():
+            self._record_response(response)
+        if req.future is not None and not req.future.done():
+            req.future.set_result(response)
+
+    def _record_response(self, response: ServeResponse) -> None:
+        t = response.timings
+        obs.incr("serve.responses")
+        if response.rejected:
+            obs.incr("serve.rejected")
+            return
+        if not response.shed:
+            obs.incr(f"serve.decided.l{response.deciding_level}")
+        obs.observe("serve.latency.total_ms", t.total_ms)
+        obs.observe("serve.latency.queue_wait_ms", t.queue_wait_ms)
+        if t.escalation_rtt_ms > 0:
+            obs.observe("serve.latency.escalation_rtt_ms", t.escalation_rtt_ms)

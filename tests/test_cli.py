@@ -121,3 +121,78 @@ class TestObservability:
     def test_stats_missing_explicit_input(self, capsys, tmp_path):
         code = main(["stats", "--input", str(tmp_path / "absent.json")])
         assert code == 2
+
+
+class TestServeBench:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.policy == "block"
+        assert args.backend == "dense"
+        assert args.max_batch == 32
+        assert args.rate == 500.0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench", "--policy", "drop"])
+
+    def test_open_loop_run(self, capsys):
+        code = main(
+            [
+                "serve-bench", "--dataset", "APRI", "--dimension", "256",
+                "--scale", "0.05", "--max-train", "500", "--max-test", "150",
+                "--epochs", "2", "--rate", "2000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "open loop" in out
+        assert "p99" in out
+        assert "accuracy (answered)" in out
+
+    def test_closed_loop_run(self, capsys):
+        code = main(
+            [
+                "serve-bench", "--dataset", "APRI", "--dimension", "256",
+                "--scale", "0.05", "--max-train", "500", "--max-test", "150",
+                "--epochs", "2", "--closed-loop", "--clients", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "closed loop: 4 clients" in out
+
+    def test_rejects_flat_dataset(self, capsys):
+        code = main(["serve-bench", "--dataset", "MNIST", "--scale", "0.001"])
+        assert code == 2
+
+
+class TestOutputPaths:
+    def test_report_output_creates_parent_dirs(self, capsys, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "BENCH_x.report.json").write_text(
+            '{"title": "X", "body": "measured"}'
+        )
+        out = tmp_path / "deep" / "nested" / "report.md"
+        code = main(
+            [
+                "report", "--results-dir", str(results),
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+
+    def test_trace_path_creates_parent_dirs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_STATS", str(tmp_path / "stats.json"))
+        obs.disable()
+        obs.reset()
+        trace = tmp_path / "deep" / "nested" / "trace.jsonl"
+        code = main(
+            [
+                "train", "--dataset", "PDP", "--dimension", "128",
+                "--scale", "0.02", "--epochs", "1", "--trace", str(trace),
+            ]
+        )
+        obs.disable()
+        obs.reset()
+        assert code == 0
+        assert trace.exists()

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core.compression import CompressedBatch, PositionCodebook
+from repro.core.compression import (
+    CompressedBatch,
+    PositionCodebook,
+    compressed_bundle_bytes,
+)
 from repro.core.hypervector import hamming_similarity, random_bipolar
 
 
@@ -149,3 +153,70 @@ class TestValidation:
         )
         # m=8: expected per-element fidelity PHI(1/sqrt(7)) ~ 0.65.
         assert fidelity > 0.6
+
+
+class TestByteAccounting:
+    """Wire-size arithmetic of compressed bundles (Eq. 3 accounting)."""
+
+    def test_bundle_bytes_formula(self):
+        # m = 25: elements lie in [-25, 25], 51 symbols -> 6 bits each.
+        assert compressed_bundle_bytes(4000, 25) == (4000 * 6 + 7) // 8
+        # m = 1: 3 symbols -> 2 bits each.
+        assert compressed_bundle_bytes(4000, 1) == (4000 * 2 + 7) // 8
+        # Rounding up to whole bytes.
+        assert compressed_bundle_bytes(3, 1) == 1
+
+    def test_saving_vs_uncompressed_queries(self):
+        """One m=25 bundle beats shipping 25 bit-packed queries ~4x
+        (and naive 32-bit elements by ~5x per element)."""
+        from repro.core.model import hypervector_bytes
+
+        dimension, m = 4000, 25
+        bundle = compressed_bundle_bytes(dimension, m)
+        uncompressed = m * hypervector_bytes(dimension, bipolar=True)
+        assert uncompressed / bundle > 4.0
+        naive_int32 = dimension * 4
+        assert naive_int32 / bundle > 5.0
+
+    def test_bundle_bytes_grows_with_count(self):
+        sizes = [compressed_bundle_bytes(4000, m) for m in (1, 3, 25, 100)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            compressed_bundle_bytes(0, 25)
+        with pytest.raises(ValueError):
+            compressed_bundle_bytes(4000, 0)
+
+    def test_partial_count_roundtrip(self, queries):
+        """A bundle filled below capacity decodes its actual count and
+        is cheaper on the wire than a full one."""
+        book = PositionCodebook(4000, 25, seed=12)
+        partial = book.compress(queries[:7])
+        assert partial.count == 7
+        decoded = book.decompress(partial)
+        assert decoded.shape == (7, 4000)
+        # Per-vector decode matches the batch decode at every index.
+        for index in range(partial.count):
+            np.testing.assert_array_equal(
+                book.decode_one(partial, index), decoded[index]
+            )
+        fidelity = np.mean(
+            [
+                hamming_similarity(q, d)
+                for q, d in zip(queries[:7], decoded)
+            ]
+        )
+        assert fidelity > 0.6
+        # Fewer vectors -> fewer symbols per element -> fewer bytes.
+        assert compressed_bundle_bytes(4000, 7) < compressed_bundle_bytes(
+            4000, 25
+        )
+
+    def test_bundle_element_range_supports_packing(self, queries):
+        """Every bundle element fits the advertised symbol alphabet."""
+        book = PositionCodebook(4000, 25, seed=13)
+        batch = book.compress(queries)
+        assert np.abs(batch.bundle).max() <= batch.count
+        assert np.array_equal(batch.bundle, np.round(batch.bundle))

@@ -201,3 +201,61 @@ class TestSimulationResult:
         assert merged.retransmissions == 3
         assert merged.bytes_by_kind[MessageKind.QUERY] == 130
         assert merged.bytes_by_kind[MessageKind.RAW_DATA] == 20
+
+
+class TestLatencyPercentiles:
+    def test_latencies_recorded_per_delivered_message(self):
+        h = build_star(4)
+        sim = NetworkSimulator(h, FAST)
+        result = sim.simulate_independent(leaf_messages(h))
+        single = FAST.transfer_time(1000)
+        assert len(result.latencies_s) == 4
+        for latency in result.latencies_s:
+            assert latency == pytest.approx(single)
+        pct = result.latency_percentiles()
+        assert pct["p50"] == pytest.approx(single * 1e3)
+        assert pct["p99"] == pytest.approx(single * 1e3)
+
+    def test_queueing_on_shared_link_raises_tail(self):
+        h = build_star(2)
+        sim = NetworkSimulator(h, FAST)
+        leaf = h.leaves()[0]
+        messages = [
+            Message(leaf, h.root_id, MessageKind.QUERY, 1000)
+            for _ in range(10)
+        ]
+        result = sim.simulate_independent(messages)
+        single = FAST.transfer_time(1000)
+        pct = result.latency_percentiles()
+        # The first message pays one transfer; the last pays ten.
+        assert min(result.latencies_s) == pytest.approx(single)
+        assert max(result.latencies_s) == pytest.approx(10 * single)
+        assert pct["p99"] > pct["p50"]
+
+    def test_dropped_messages_record_no_latency(self):
+        h = build_star(1)
+        sim = NetworkSimulator(
+            h, FAST, failure_model=FailureModel(1.0, seed=3), max_retries=2
+        )
+        result = sim.simulate_independent(leaf_messages(h))
+        assert result.dropped == 1
+        assert result.latencies_s == []
+        assert result.latency_percentiles() == {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0
+        }
+
+    def test_merge_concatenates_latencies(self):
+        a = SimulationResult(1.0, 1.0, 1.0, 10, 1, 0, 0, latencies_s=[0.1])
+        b = SimulationResult(1.0, 1.0, 1.0, 10, 2, 0, 0,
+                             latencies_s=[0.2, 0.3])
+        merged = a.merge(b)
+        assert merged.latencies_s == [0.1, 0.2, 0.3]
+        assert merged.latency_percentiles(qs=(50,))["p50"] == pytest.approx(200.0)
+
+    def test_custom_quantiles(self):
+        h = build_star(4)
+        result = NetworkSimulator(h, FAST).simulate_independent(
+            leaf_messages(h)
+        )
+        pct = result.latency_percentiles(qs=(10, 90))
+        assert set(pct) == {"p10", "p90"}
