@@ -21,13 +21,14 @@ from __future__ import annotations
 import logging
 import warnings
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Iterator, Optional
 
 import numpy as np
 
 import repro.obs as obs
 from repro.core.hypervector import cosine_many, normalize_rows
 from repro.core.kernels import PackedBits, pack_bits, packed_similarities
+from repro.utils.rng import derive_rng
 from repro.utils.validation import check_fitted, check_labels, check_matrix
 
 __all__ = ["HDClassifier", "softmax_confidence", "PredictionResult", "BACKENDS"]
@@ -101,7 +102,9 @@ class PredictionResult:
         return self.confidences[np.arange(len(self.labels)), self.labels]
 
     # -- deprecation shims: behave like the old bare label array ------
-    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+    def __array__(
+        self, dtype: Any = None, copy: Optional[bool] = None
+    ) -> np.ndarray:
         _warn_legacy_result("np.asarray()")
         labels = np.asarray(self.labels)
         if dtype is not None:
@@ -113,15 +116,15 @@ class PredictionResult:
     def __len__(self) -> int:
         return len(self.labels)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Any]:
         _warn_legacy_result("iteration")
         return iter(self.labels)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: Any) -> Any:
         _warn_legacy_result("indexing")
         return self.labels[index]
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> Any:
         if isinstance(other, PredictionResult):
             return (
                 np.array_equal(self.labels, other.labels)
@@ -131,7 +134,7 @@ class PredictionResult:
         _warn_legacy_result("== comparison")
         return self.labels == np.asarray(other)
 
-    __hash__ = None
+    __hash__ = None  # type: ignore[assignment]
 
 
 class HDClassifier:
@@ -256,7 +259,7 @@ class HDClassifier:
             raise ValueError(f"mode must be 'batched' or 'online', got {mode!r}")
         if enc.shape[0] == 0:
             return []
-        rng = np.random.default_rng(shuffle_seed)
+        rng = derive_rng(shuffle_seed, "retrain-shuffle")
         history: list[float] = []
         model = self.class_hypervectors
         with obs.span(

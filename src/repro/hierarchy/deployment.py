@@ -30,6 +30,7 @@ from repro.network.medium import Medium
 from repro.network.message import Message, MessageKind
 from repro.network.protocol import Frame, ProtocolError, decode_frame, encode_frame
 from repro.network.simulator import NetworkSimulator, SimulationResult
+from repro.utils.rng import derive_rng
 from repro.utils.validation import check_labels, check_matrix
 
 __all__ = ["SimulatedDeployment", "DeploymentReport"]
@@ -85,7 +86,7 @@ class SimulatedDeployment:
             failure_model=failure_model, max_retries=max_retries,
         )
         self.corrupt_bits = float(corrupt_bits)
-        self._rng = np.random.default_rng(seed)
+        self._rng = derive_rng(seed, "deployment-corruption")
 
     # ------------------------------------------------------------------
     def _transmit(
