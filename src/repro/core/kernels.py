@@ -122,7 +122,8 @@ def unpack_bits(packed: PackedBits) -> np.ndarray:
 
 def popcount_u64(words: np.ndarray) -> np.ndarray:
     """Per-word population count of a uint64 array (any shape)."""
-    words = np.asarray(words, dtype=np.uint64)
+    # Any-shape uint64 coercion is the documented contract.
+    words = np.asarray(words, dtype=np.uint64)  # repro-lint: disable=REPRO108
     if _HAS_BITWISE_COUNT:
         return np.bitwise_count(words)
     as_bytes = words.reshape(-1).view(np.uint8)

@@ -30,6 +30,7 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from repro.core.classifier import PredictionResult, softmax_confidence
+from repro.utils.validation import check_matrix
 
 __all__ = ["Predictor", "result_from_scores", "result_from_proba"]
 
@@ -61,7 +62,7 @@ def result_from_scores(
     applies to HD similarities, so confidence thresholds carry a
     comparable meaning across model families.
     """
-    sims = np.atleast_2d(np.asarray(scores, dtype=np.float64))
+    sims = check_matrix("scores", scores)
     labels = np.argmax(sims, axis=1)
     conf = softmax_confidence(sims, temperature=temperature)
     return PredictionResult(labels=labels, similarities=sims, confidences=conf)
@@ -73,6 +74,6 @@ def result_from_proba(probabilities: np.ndarray) -> PredictionResult:
     The probabilities serve as both the per-class score and the
     confidence (they already sum to one per row).
     """
-    probs = np.atleast_2d(np.asarray(probabilities, dtype=np.float64))
+    probs = check_matrix("probabilities", probabilities)
     labels = np.argmax(probs, axis=1)
     return PredictionResult(labels=labels, similarities=probs, confidences=probs)

@@ -44,8 +44,22 @@ class FeaturePartition:
         return [len(s) for s in self.slices]
 
     def restrict(self, features: np.ndarray, node_index: int) -> np.ndarray:
-        """View of ``features`` keeping only this node's columns."""
+        """View of ``features`` keeping only this node's columns.
+
+        Kept dtype-preserving and copy-free on purpose (the hot path
+        slices the same training matrix once per node), so validation
+        is structural only.
+        """
         mat = np.asarray(features)
+        if mat.ndim not in (1, 2):
+            raise ValueError(
+                f"features must be 1-D or 2-D, got shape {mat.shape}"
+            )
+        if mat.shape[-1] != self.n_features:
+            raise ValueError(
+                f"features must have {self.n_features} columns, got "
+                f"{mat.shape[-1]}"
+            )
         if mat.ndim == 1:
             return mat[self.columns(node_index)]
         return mat[:, self.columns(node_index)]

@@ -29,7 +29,7 @@ from repro.core.online import ResidualAccumulator
 from repro.hierarchy.federation import EdgeHDFederation
 from repro.hierarchy.inference import HierarchicalInference
 from repro.network.message import Message, MessageKind
-from repro.utils.validation import check_labels, check_matrix
+from repro.utils.validation import check_labels, check_matrix, check_vector
 
 __all__ = ["OnlineLearner", "OnlineSession", "OnlineStepMetrics"]
 
@@ -93,7 +93,9 @@ class OnlineLearner:
     ) -> None:
         """Record one negative feedback at the deciding node."""
         label = true_class if self.feedback_includes_label else None
-        query = np.asarray(query_hv, dtype=np.float64)
+        query = check_vector(
+            "query_hv", query_hv, length=self.residuals[node_id].dimension
+        )
         if self.normalize:
             norm = np.linalg.norm(query)
             if norm > 0:
