@@ -22,7 +22,7 @@ per device, while EdgeHD moves a handful of class/batch hypervectors
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -121,7 +121,7 @@ class VerticalFedMLP:
             out.append(_relu(local @ enc["w"] + enc["b"]))
         return out
 
-    def _head_forward(self, concat: np.ndarray):
+    def _head_forward(self, concat: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         h = _relu(concat @ self.head["w1"] + self.head["b1"])
         logits = h @ self.head["w2"] + self.head["b2"]
         shifted = logits - logits.max(axis=1, keepdims=True)
@@ -152,7 +152,7 @@ class VerticalFedMLP:
         report = VerticalFedTrainingReport()
         n = x.shape[0]
         lr = self.learning_rate
-        for epoch in range(self.epochs):
+        for _epoch in range(self.epochs):
             order = self._rng.permutation(n)
             epoch_loss = 0.0
             for start in range(0, n, self.batch_size):
@@ -253,7 +253,7 @@ class VerticalFedMLP:
         return probs
 
     @property
-    def _fitted_or_none(self):
+    def _fitted_or_none(self) -> Optional[bool]:
         return True if self._fitted else None
 
     def predict(self, features: np.ndarray) -> PredictionResult:

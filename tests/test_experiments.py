@@ -70,7 +70,7 @@ class TestTable2:
             assert set(levels) == {1, 2, 3}
 
     def test_hierarchy_gain(self, result):
-        for name, levels in result.by_level.items():
+        for levels in result.by_level.values():
             assert levels[3] > levels[1] - 0.05
 
     def test_format(self, result):
@@ -182,7 +182,7 @@ class TestFigure12:
         }
 
     def test_loss_degrades(self, result):
-        for system, per_ds in result.accuracy.items():
+        for per_ds in result.accuracy.values():
             for per_loss in per_ds.values():
                 assert per_loss[0.8] <= per_loss[0.0] + 0.05
 

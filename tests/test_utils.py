@@ -1,5 +1,7 @@
 """Unit tests for utilities: rng, tables, validation, config."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -165,7 +167,7 @@ class TestConfig:
         assert DEFAULT_CONFIG.dimension == 4000  # original untouched
 
     def test_frozen(self):
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             DEFAULT_CONFIG.dimension = 1
 
     def test_validation(self):
