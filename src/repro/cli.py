@@ -20,6 +20,9 @@ Subcommands
     Stitch saved benchmark reports into one markdown document.
 ``stats``
     Render the metrics registry dumped by an instrumented run.
+``lint``
+    Run the repo-specific AST invariant checker
+    (:mod:`repro.analysis`) over source paths.
 
 Observability
 -------------
@@ -41,6 +44,7 @@ Examples
     REPRO_OBS=1 python -m repro.cli federate --dataset PDP
     python -m repro.cli stats
     python -m repro.cli reproduce --figure table2 --quick --trace run.jsonl
+    python -m repro.cli lint src/ --format json
 """
 
 from __future__ import annotations
@@ -345,6 +349,50 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the AST invariant checker; exit 1 on any finding."""
+    from repro.analysis import (
+        RULE_INDEX,
+        LintEngine,
+        default_rules,
+        render_json,
+        render_text,
+        select_rules,
+    )
+
+    if args.list_rules:
+        print(f"{'id':<10} {'severity':<8} description")
+        for rule in default_rules():
+            print(f"{rule.rule_id:<10} {rule.severity:<8} {rule.description}")
+        return 0
+    split = lambda raw: [t.strip() for t in raw.split(",") if t.strip()]
+    try:
+        rules = select_rules(
+            select=split(args.select) if args.select else None,
+            ignore=split(args.ignore) if args.ignore else None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not rules:
+        print(
+            f"error: no rules left after filtering; known ids: "
+            f"{', '.join(sorted(RULE_INDEX))}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        findings = LintEngine(rules).lint_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="EdgeHD reproduction CLI"
@@ -459,6 +507,28 @@ def build_parser() -> argparse.ArgumentParser:
              "$REPRO_OBS_STATS)",
     )
     stats.add_argument("--json", action="store_true", help="raw JSON output")
+
+    lint = sub.add_parser(
+        "lint",
+        help="repo-specific AST invariant checker (repro.analysis)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument("--format", default="text", choices=("text", "json"))
+    lint.add_argument(
+        "--select", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore", default=None, metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
     return parser
 
 
@@ -470,6 +540,7 @@ _HANDLERS = {
     "serve-bench": _cmd_serve_bench,
     "reproduce": _cmd_reproduce,
     "stats": _cmd_stats,
+    "lint": _cmd_lint,
 }
 
 #: commands that record metrics and persist them on exit.

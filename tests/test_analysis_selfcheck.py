@@ -1,0 +1,24 @@
+"""Tier-1 self-check: the repro-lint rule set must hold over src/.
+
+This is the enforcement half of the static-analysis PR: every
+invariant encoded in ``repro.analysis.rules`` (RNG discipline, asyncio
+hygiene, packed-kernel dtype contracts, greppable metric names, ...)
+is asserted against the actual codebase on every test run, so a
+regression shows up as a failing test with the exact file:line.
+"""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_src_tree_exists():
+    assert SRC.is_dir()
+
+
+def test_repro_lint_is_clean_over_src():
+    findings = lint_paths([str(SRC)])
+    assert findings == [], "\n" + "\n".join(f.format() for f in findings)
