@@ -15,6 +15,7 @@ from typing import List
 import numpy as np
 
 from repro.config import DEFAULT_CONFIG, EdgeHDConfig
+from repro.core.classifier import PredictionResult
 from repro.core.model import EdgeHDModel, raw_data_bytes
 from repro.data.partition import FeaturePartition
 from repro.hierarchy.topology import Hierarchy
@@ -120,7 +121,7 @@ class CentralizedHD:
     # ------------------------------------------------------------------
     # Predictor protocol: delegate to the central global model.
     # ------------------------------------------------------------------
-    def predict(self, features: np.ndarray):
+    def predict(self, features: np.ndarray) -> PredictionResult:
         return self.model.predict(features)
 
     def predict_labels(self, features: np.ndarray) -> np.ndarray:

@@ -14,7 +14,7 @@ evaluation unless otherwise noted:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Optional
 
 from repro.utils.validation import check_positive, check_probability
 
@@ -50,7 +50,7 @@ class EdgeHDConfig:
         if self.encoder not in {"rbf", "cos-sin", "linear", "id-level"}:
             raise ValueError(f"unknown encoder {self.encoder!r}")
 
-    def with_overrides(self, **kwargs) -> "EdgeHDConfig":
+    def with_overrides(self, **kwargs: Any) -> "EdgeHDConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 

@@ -12,6 +12,7 @@ sample counts are not.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.config import DEFAULT_CONFIG, EdgeHDConfig
 
@@ -53,7 +54,9 @@ STANDARD = ExperimentScale(
 )
 
 
-def default_config(scale: ExperimentScale, seed: int = 7, **overrides) -> EdgeHDConfig:
+def default_config(
+    scale: ExperimentScale, seed: int = 7, **overrides: Any
+) -> EdgeHDConfig:
     """EdgeHD config matching an experiment scale."""
     base = DEFAULT_CONFIG.with_overrides(
         dimension=scale.dimension,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -360,7 +360,7 @@ class HierarchicalInference:
         self,
         features: np.ndarray,
         labels: np.ndarray,
-        **kwargs,
+        **kwargs: Any,
     ) -> tuple[float, InferenceOutcome]:
         """Run and score in one call."""
         y = check_labels("labels", labels, n_classes=self.federation.n_classes)

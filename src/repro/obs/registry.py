@@ -15,7 +15,7 @@ emits them, e.g. ``core.encode.samples``, ``hierarchy.escalations.l2``,
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
 
 __all__ = [
     "Counter",
@@ -153,7 +153,7 @@ class MetricsRegistry:
         self._instruments: Dict[str, Instrument] = {}
 
     # -- get-or-create -------------------------------------------------
-    def _get(self, name: str, cls, *args) -> Instrument:
+    def _get(self, name: str, cls: Type[Any], *args: Any) -> Instrument:
         inst = self._instruments.get(name)
         if inst is None:
             inst = cls(name, *args)

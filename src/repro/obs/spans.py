@@ -24,6 +24,7 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from types import TracebackType
 from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
 from repro.obs import runtime
@@ -153,7 +154,12 @@ class _Span:
         self.start_ns = time.perf_counter_ns()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         duration = time.perf_counter_ns() - self.start_ns
         if _STACK and _STACK[-1] is self:
             _STACK.pop()
@@ -181,7 +187,12 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         return None
 
     def set(self, **attrs: Any) -> None:

@@ -15,9 +15,12 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
+    from repro.hierarchy.inference import InferenceOutcome
 
 __all__ = ["StageTimings", "ServeRequest", "ServeResponse", "ServeResult"]
 
@@ -166,7 +169,7 @@ class ServeResult:
         }
 
     # ------------------------------------------------------------------
-    def to_outcome(self):
+    def to_outcome(self) -> "InferenceOutcome":
         """Convert to an offline-comparable ``InferenceOutcome``.
 
         The message list is rebuilt from the *aggregated* escalation

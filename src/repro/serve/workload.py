@@ -21,12 +21,15 @@ Arrival processes (all reproducible through :mod:`repro.utils.rng`):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.utils.rng import SeedLike, derive_rng
 from repro.utils.validation import check_matrix
+
+if TYPE_CHECKING:  # type-only: repro.hierarchy already imports repro.serve
+    from repro.hierarchy.inference import HierarchicalInference
 
 __all__ = [
     "ServeWorkload",
@@ -71,7 +74,7 @@ class ServeWorkload:
 
 def make_workload(
     features: np.ndarray,
-    inference,
+    inference: "HierarchicalInference",
     seed: SeedLike = 0,
     labels: Optional[np.ndarray] = None,
     start_leaves: Optional[np.ndarray] = None,

@@ -1,0 +1,141 @@
+"""Direct unit tests for repro.utils.validation, including error paths."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_fitted,
+    check_labels,
+    check_matrix,
+    check_positive,
+    check_probability,
+    check_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            check_positive("x", 0)
+
+    def test_allow_zero(self):
+        assert check_positive("x", 0, allow_zero=True) == 0
+        with pytest.raises(ValueError, match="must be >= 0"):
+            check_positive("x", -1, allow_zero=True)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="got -3"):
+            check_positive("x", -3)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="must be finite"):
+            check_positive("x", bad)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, ok):
+        assert check_probability("p", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, float("nan")])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValueError, match=r"must be in \[0, 1\]"):
+            check_probability("p", bad)
+
+    def test_returns_float(self):
+        out = check_probability("p", 1)
+        assert isinstance(out, float)
+
+
+class TestCheckVector:
+    def test_coerces_list_to_float64(self):
+        out = check_vector("v", [1, 2, 3])
+        assert out.dtype == np.float64
+        assert out.shape == (3,)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError, match="must be 1-D"):
+            check_vector("v", [[1, 2], [3, 4]])
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError, match="must be 1-D"):
+            check_vector("v", 5.0)
+
+    def test_length_check(self):
+        assert check_vector("v", [1.0, 2.0], length=2).shape == (2,)
+        with pytest.raises(ValueError, match="must have length 3, got 2"):
+            check_vector("v", [1.0, 2.0], length=3)
+
+
+class TestCheckMatrix:
+    def test_promotes_vector_to_single_row(self):
+        out = check_matrix("m", [1, 2, 3])
+        assert out.shape == (1, 3)
+        assert out.dtype == np.float64
+
+    def test_passes_matrix_through(self):
+        out = check_matrix("m", np.zeros((4, 2)))
+        assert out.shape == (4, 2)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="must be 2-D"):
+            check_matrix("m", np.zeros((2, 2, 2)))
+
+    def test_cols_check(self):
+        assert check_matrix("m", np.zeros((3, 5)), cols=5).shape == (3, 5)
+        with pytest.raises(ValueError, match="must have 4 columns, got 5"):
+            check_matrix("m", np.zeros((3, 5)), cols=4)
+
+
+class TestCheckFitted:
+    class _Model:
+        weights = None
+
+    def test_raises_when_attr_is_none(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            check_fitted(self._Model(), "weights")
+
+    def test_raises_when_attr_missing(self):
+        with pytest.raises(RuntimeError, match="call fit"):
+            check_fitted(self._Model(), "no_such_attr")
+
+    def test_passes_when_set(self):
+        model = self._Model()
+        model.weights = np.ones(3)
+        check_fitted(model, "weights")
+
+
+class TestCheckLabels:
+    def test_coerces_to_int64(self):
+        out = check_labels("y", [0, 1, 2])
+        assert out.dtype == np.int64
+
+    def test_accepts_integer_valued_floats(self):
+        out = check_labels("y", [0.0, 2.0])
+        assert out.tolist() == [0, 2]
+
+    def test_rejects_fractional_floats(self):
+        with pytest.raises(ValueError, match="integer class indices"):
+            check_labels("y", [0.5, 1.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_labels("y", [0, -1])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="must be 1-D"):
+            check_labels("y", [[0, 1]])
+
+    def test_n_classes_bound(self):
+        assert check_labels("y", [0, 1], n_classes=2).tolist() == [0, 1]
+        with pytest.raises(ValueError, match="label 2 >= n_classes=2"):
+            check_labels("y", [0, 2], n_classes=2)
+
+    def test_empty_labels_ok(self):
+        out = check_labels("y", [])
+        assert out.shape == (0,)
+        assert out.dtype == np.int64
