@@ -236,12 +236,37 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         policy=args.policy,
     )
-    runtime = ServingRuntime(inference, get_medium(args.medium), serve_config)
+    fault_plan = None
+    if args.faults:
+        from repro.serve import FaultPlan
+
+        crashes = {
+            int(nid): (0.0, float("inf")) for nid in (args.fault_crash or [])
+        }
+        fault_plan = FaultPlan(
+            seed=args.seed if args.fault_seed is None else args.fault_seed,
+            drop_probability=args.fault_drop,
+            dimension_loss=args.fault_dim_loss,
+            latency_jitter_s=args.fault_jitter_ms * 1e-3,
+            crash_windows=crashes,
+        )
+    runtime = ServingRuntime(
+        inference, get_medium(args.medium), serve_config,
+        fault_plan=fault_plan,
+    )
     print(
         f"{args.dataset} over {args.topology.upper()} "
         f"({len(hierarchy.nodes)} nodes), {args.backend} backend, "
         f"threshold {args.threshold}, medium {args.medium}"
     )
+    if fault_plan is not None:
+        crashed = sorted(fault_plan.crash_windows) or "none"
+        print(
+            f"faults: drop {fault_plan.drop_probability:.2f}, "
+            f"dim loss {fault_plan.dimension_loss:.2f}, "
+            f"jitter <= {fault_plan.latency_jitter_s * 1e3:.1f} ms, "
+            f"crashed nodes {crashed}"
+        )
     if args.closed_loop:
         print(f"closed loop: {args.clients} clients")
         result = runtime.serve_closed_loop(workload, n_clients=args.clients)
@@ -478,6 +503,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument(
         "--clients", type=int, default=4,
         help="in-flight requests in closed-loop mode",
+    )
+    serve_bench.add_argument(
+        "--faults", action="store_true",
+        help="serve through deterministic chaos (FaultPlan)",
+    )
+    serve_bench.add_argument(
+        "--fault-drop", type=float, default=0.1,
+        help="per-attempt escalation drop probability",
+    )
+    serve_bench.add_argument(
+        "--fault-dim-loss", type=float, default=0.0,
+        help="fraction of hypervector dimensions lost per hop",
+    )
+    serve_bench.add_argument(
+        "--fault-jitter-ms", type=float, default=0.0,
+        help="max uniform extra uplink delay (ms)",
+    )
+    serve_bench.add_argument(
+        "--fault-crash", type=int, action="append", metavar="NODE",
+        help="crash this node for the whole run (repeatable; never root)",
+    )
+    serve_bench.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="fault stream seed (defaults to --seed)",
     )
 
     report = sub.add_parser(

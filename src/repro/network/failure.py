@@ -47,15 +47,23 @@ def drop_blocks(
     mat = np.atleast_2d(arr)
     n_rows, dim = mat.shape
     n_blocks = max(1, dim // block_size)
-    n_lost = int(round(loss_fraction * n_blocks))
-    for r in range(n_rows):
-        if n_lost == 0:
-            continue
-        lost = rng.choice(n_blocks, size=min(n_lost, n_blocks), replace=False)
-        for b in lost:
-            start = b * block_size
-            stop = dim if b == n_blocks - 1 else start + block_size
-            mat[r, start:stop] = 0.0
+    n_lost = min(int(round(loss_fraction * n_blocks)), n_blocks)
+    if n_lost > 0:
+        # Vectorized per-row block choice via argsort of random keys
+        # (same device as drop_dimensions): row r loses the n_lost
+        # blocks with the smallest keys — a uniform without-replacement
+        # draw for every row in one shot.
+        keys = rng.random((n_rows, n_blocks))
+        lost = np.argsort(keys, axis=1)[:, :n_lost]
+        block_mask = np.zeros((n_rows, n_blocks), dtype=bool)
+        block_mask[np.repeat(np.arange(n_rows), n_lost), lost.ravel()] = True
+        # Block b covers [b*block_size, (b+1)*block_size); the last
+        # block absorbs the ragged tail when block_size doesn't divide
+        # the dimension.
+        dim_block = np.minimum(
+            np.arange(dim) // block_size, n_blocks - 1
+        )
+        mat[block_mask[:, dim_block]] = 0.0
     return mat[0] if single else mat
 
 

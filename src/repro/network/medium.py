@@ -35,11 +35,20 @@ class Medium:
         if self.tx_energy_per_bit < 0 or self.rx_energy_per_bit < 0:
             raise ValueError("energy per bit must be >= 0")
 
-    def transfer_time(self, payload_bytes: int) -> float:
-        """Seconds to push ``payload_bytes`` through this link."""
+    def transfer_time(self, payload_bytes: int, jitter_s: float = 0.0) -> float:
+        """Seconds to push ``payload_bytes`` through this link.
+
+        ``jitter_s`` adds extra one-way delay for this transfer only
+        (contention / retransmission noise injected by a fault plan);
+        the link's nominal latency and bandwidth are unchanged.
+        """
         if payload_bytes < 0:
             raise ValueError("payload_bytes must be >= 0")
-        return self.latency_s + (payload_bytes * 8) / self.bandwidth_bps
+        if jitter_s < 0:
+            raise ValueError("jitter_s must be >= 0")
+        return (
+            self.latency_s + jitter_s + (payload_bytes * 8) / self.bandwidth_bps
+        )
 
     def transfer_energy(self, payload_bytes: int) -> float:
         """Joules spent by sender + receiver for ``payload_bytes``."""

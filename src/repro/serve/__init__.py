@@ -16,6 +16,12 @@ seed) the served answers, escalation decisions and aggregate wire bytes
 match the offline outcome exactly (verified by the serving benchmark's
 smoke mode and tier-1 tests).
 
+With a :class:`~repro.serve.faults.FaultPlan` the same tree serves
+through deterministic chaos — message drops, latency jitter, payload
+dimension/block loss, node crash windows — and the runtime answers
+every request anyway via retry/backoff, per-hop timeouts, and degraded
+local answers (see the chaos benchmark and ``tests/test_serve_faults``).
+
 Quickstart::
 
     from repro.serve import ServeConfig, ServingRuntime, make_workload
@@ -29,7 +35,13 @@ Quickstart::
 """
 
 from repro.serve.batcher import MicroBatcher
-from repro.serve.queueing import BoundedQueue, QueueStats, ShedError
+from repro.serve.faults import FaultPlan
+from repro.serve.queueing import (
+    BoundedQueue,
+    QueueStats,
+    QueueTimeout,
+    ShedError,
+)
 from repro.serve.request import (
     ServeRequest,
     ServeResponse,
@@ -46,8 +58,10 @@ from repro.serve.workload import (
 
 __all__ = [
     "BoundedQueue",
+    "FaultPlan",
     "MicroBatcher",
     "QueueStats",
+    "QueueTimeout",
     "ServeConfig",
     "ServeRequest",
     "ServeResponse",

@@ -1,0 +1,250 @@
+"""Deterministic fault injection for the serving runtime (chaos harness).
+
+The paper's robustness study (Sec. VI-F, Fig. 12) argues that the
+holographic HD encoding degrades *gracefully* when dimensions are lost
+in flight and messages are dropped. A :class:`FaultPlan` turns those
+failure mechanisms into a reproducible chaos schedule for
+:class:`~repro.serve.runtime.ServingRuntime`:
+
+* **message drops** — every escalation attempt of every request flips a
+  Bernoulli coin through the existing
+  :class:`~repro.network.failure.FailureModel`;
+* **payload corruption** — in-flight query bundles lose a fraction of
+  their dimensions (:func:`~repro.network.failure.drop_dimensions`) or
+  contiguous packet-sized blocks
+  (:func:`~repro.network.failure.drop_blocks`) per hop;
+* **latency jitter** — escalation transfers pay a uniform extra delay;
+* **node crashes** — non-root nodes are unreachable during configured
+  ``(start_s, end_s)`` windows (relative to serve start); senders
+  detect the dead parent by timeout, retry with exponential backoff,
+  and finally answer in degraded mode from their own model.
+
+Every stochastic decision derives from ``(seed, structural tag)``
+through :func:`~repro.utils.rng.derive_rng` — tags name the edge, the
+request index and the attempt number, never wall-clock time or batch
+composition. Two runs of the same workload under the same plan
+therefore make *identical* fault decisions even though micro-batch
+boundaries shift with host timing; this is what makes the chaos suite
+in ``tests/test_serve_faults.py`` deterministic.
+
+Modeling choices (kept deliberately one-sided so the "every request
+completes" invariant is easy to reason about): only escalation uplinks
+drop and corrupt — the 4-byte answer descent is treated as reliable
+(an application-level ack), and a transmission toward a crashed parent
+spends the detection timeout but is not charged wire bytes or energy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.failure import FailureModel, drop_blocks, drop_dimensions
+from repro.network.message import Message, MessageKind
+from repro.utils.rng import SeedLike, derive_rng
+from repro.utils.validation import check_probability
+
+__all__ = ["FaultPlan"]
+
+#: a directed (child, parent) escalation edge.
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed-deterministic fault schedule for one serving run.
+
+    All knobs default to "off"; a plan with every knob at zero is
+    :attr:`active` ``False`` and the runtime treats it exactly like no
+    plan at all (pinned by tests — the PR 3 served-equals-offline
+    invariant survives an inert plan bit for bit).
+    """
+
+    #: root of every derived fault stream.
+    seed: int = 0
+    #: per-attempt Bernoulli drop probability on escalation uplinks.
+    drop_probability: float = 0.0
+    #: maximum uniform extra delay per escalation transfer (seconds).
+    latency_jitter_s: float = 0.0
+    #: fraction of hypervector dimensions erased per traversed hop.
+    dimension_loss: float = 0.0
+    #: fraction of contiguous packet-sized blocks erased per hop.
+    block_loss: float = 0.0
+    #: dimensions per lost packet (see :func:`drop_blocks`).
+    block_size: int = 256
+    #: node id -> (start_s, end_s) unreachability window, relative to
+    #: serve start. The root may never crash.
+    crash_windows: Mapping[int, Tuple[float, float]] = field(
+        default_factory=dict
+    )
+    #: total transmission attempts per hop before degrading.
+    max_attempts: int = 3
+    #: simulated loss-detection (ack) timeout per failed attempt.
+    timeout_s: float = 0.02
+    #: exponential backoff: ``backoff_base_s * backoff_factor**attempt``.
+    backoff_base_s: float = 0.005
+    backoff_factor: float = 2.0
+    #: bound on how long a sender may block on a full downstream inbox
+    #: before answering in degraded mode (block policy only).
+    hop_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        check_probability("drop_probability", self.drop_probability)
+        check_probability("dimension_loss", self.dimension_loss)
+        check_probability("block_loss", self.block_loss)
+        if self.latency_jitter_s < 0:
+            raise ValueError(
+                f"latency_jitter_s must be >= 0, got {self.latency_jitter_s}"
+            )
+        if self.block_size < 1:
+            raise ValueError(
+                f"block_size must be >= 1, got {self.block_size}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.timeout_s < 0:
+            raise ValueError(f"timeout_s must be >= 0, got {self.timeout_s}")
+        if self.backoff_base_s < 0:
+            raise ValueError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.hop_timeout_s <= 0:
+            raise ValueError(
+                f"hop_timeout_s must be > 0, got {self.hop_timeout_s}"
+            )
+        windows: Dict[int, Tuple[float, float]] = {}
+        for node_id, window in dict(self.crash_windows).items():
+            start, end = float(window[0]), float(window[1])
+            if start < 0 or end < start:
+                raise ValueError(
+                    f"crash window for node {node_id} must satisfy "
+                    f"0 <= start <= end, got ({start}, {end})"
+                )
+            windows[int(node_id)] = (start, end)
+        object.__setattr__(self, "crash_windows", windows)
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True when any fault mechanism is engaged."""
+        return bool(
+            self.drop_probability > 0.0
+            or self.latency_jitter_s > 0.0
+            or self.corrupts_payload
+            or self.crash_windows
+        )
+
+    @property
+    def corrupts_payload(self) -> bool:
+        """True when in-flight bundles lose dimensions or blocks."""
+        return self.dimension_loss > 0.0 or self.block_loss > 0.0
+
+    # ------------------------------------------------------------------
+    def crashed(self, node_id: int, elapsed_s: float) -> bool:
+        """Is ``node_id`` inside its crash window at ``elapsed_s``?"""
+        window = self.crash_windows.get(node_id)
+        if window is None:
+            return False
+        start, end = window
+        return start <= elapsed_s < end
+
+    def message_dropped(
+        self, edge: Edge, index: int, attempt: int, payload_bytes: int
+    ) -> bool:
+        """Does request ``index``'s ``attempt``-th send over ``edge`` drop?
+
+        The decision is a :class:`FailureModel` draw whose stream is
+        derived from ``(seed, edge, index, attempt)`` — the same
+        request retried on the same hop sees independent coins, while
+        two runs of the same plan see identical ones.
+        """
+        if self.drop_probability == 0.0:
+            return False
+        model = FailureModel(
+            self.drop_probability,
+            seed=derive_rng(
+                self.seed, f"drop:{edge[0]}->{edge[1]}:{index}:{attempt}"
+            ),
+        )
+        message = Message(
+            edge[0], edge[1], MessageKind.COMPRESSED_QUERY, payload_bytes
+        )
+        return model.message_dropped(message)
+
+    def jitter_s(self, edge: Edge, index: int, attempt: int) -> float:
+        """Extra uplink delay for this transfer (uniform, derived)."""
+        if self.latency_jitter_s == 0.0:
+            return 0.0
+        rng = derive_rng(
+            self.seed, f"jitter:{edge[0]}->{edge[1]}:{index}:{attempt}"
+        )
+        return float(rng.uniform(0.0, self.latency_jitter_s))
+
+    def corrupt(
+        self, encoded_row: np.ndarray, node_id: int, index: int
+    ) -> np.ndarray:
+        """Dimension/block loss suffered by one in-flight query row.
+
+        Applied at the receiving node: the runtime recomputes encodings
+        from raw features (deterministic, so batching cannot change an
+        answer), so the loss the bundle suffered on the wire is
+        replayed onto the freshly computed row. The damage pattern
+        derives from ``(seed, node, request index)`` only.
+        """
+        out = encoded_row
+        if self.block_loss > 0.0:
+            out = drop_blocks(
+                out,
+                self.block_loss,
+                block_size=self.block_size,
+                seed=derive_rng(self.seed, f"chaos-block:{node_id}:{index}"),
+            )
+        if self.dimension_loss > 0.0:
+            out = drop_dimensions(
+                out,
+                self.dimension_loss,
+                seed=derive_rng(self.seed, f"chaos-dim:{node_id}:{index}"),
+            )
+        return out
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return self.backoff_base_s * self.backoff_factor ** attempt
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def sample_crashes(
+        seed: SeedLike,
+        candidates: Sequence[int],
+        n_crashes: int = 1,
+        crash_start_s: float = 0.0,
+        crash_duration_s: float = math.inf,
+    ) -> Dict[int, Tuple[float, float]]:
+        """Draw crash windows for ``n_crashes`` of ``candidates``.
+
+        The victims are chosen via ``derive_rng(seed,
+        "crash-windows")`` so a chaos benchmark can crash "some
+        non-root node" reproducibly. Pass the result as
+        ``crash_windows=``; the runtime rejects plans that crash the
+        root or unknown node ids.
+        """
+        pool = [int(c) for c in candidates]
+        if n_crashes < 0:
+            raise ValueError(f"n_crashes must be >= 0, got {n_crashes}")
+        if n_crashes > len(pool):
+            raise ValueError(
+                f"cannot crash {n_crashes} of {len(pool)} candidate nodes"
+            )
+        rng = derive_rng(seed, "crash-windows")
+        picked = rng.choice(len(pool), size=n_crashes, replace=False)
+        end = crash_start_s + crash_duration_s
+        return {pool[int(i)]: (crash_start_s, end) for i in picked}

@@ -19,9 +19,9 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
-__all__ = ["BoundedQueue", "QueueStats", "ShedError", "POLICIES"]
+__all__ = ["BoundedQueue", "QueueStats", "QueueTimeout", "ShedError", "POLICIES"]
 
 POLICIES = ("block", "shed")
 
@@ -30,12 +30,20 @@ class ShedError(Exception):
     """Raised by :meth:`BoundedQueue.offer` when a full queue sheds."""
 
 
+class QueueTimeout(Exception):
+    """Raised by :meth:`BoundedQueue.put` when a bounded blocking wait
+    (``timeout_s``) expires with the queue still full. The item was
+    *not* enqueued; the caller decides how to degrade."""
+
+
 @dataclass
 class QueueStats:
     """Occupancy and loss counters for one queue."""
 
     enqueued: int = 0
     shed: int = 0
+    #: blocking puts abandoned after their ``timeout_s`` bound.
+    timeouts: int = 0
     #: deepest occupancy ever observed (bounded-memory witness).
     high_water: int = 0
 
@@ -58,11 +66,16 @@ class BoundedQueue:
     def __len__(self) -> int:
         return self._queue.qsize()
 
-    async def put(self, item: Any) -> None:
+    async def put(self, item: Any, timeout_s: Optional[float] = None) -> None:
         """Enqueue under the configured policy.
 
         Blocks under ``"block"``; raises :class:`ShedError` (after
-        counting the shed) under ``"shed"`` when full.
+        counting the shed) under ``"shed"`` when full. ``timeout_s``
+        bounds the blocking wait: when it expires with the queue still
+        full, :class:`QueueTimeout` is raised (and counted) and the
+        item is not enqueued — the fault-injected serving path uses
+        this as its per-hop timeout so a stalled or crashed consumer
+        can never wedge a producer forever.
         """
         if self.policy == "shed":
             try:
@@ -72,8 +85,16 @@ class BoundedQueue:
                 raise ShedError(
                     f"queue full ({self.maxsize}), item shed"
                 ) from None
-        else:
+        elif timeout_s is None:
             await self._queue.put(item)
+        else:
+            try:
+                await asyncio.wait_for(self._queue.put(item), timeout=timeout_s)
+            except asyncio.TimeoutError:
+                self.stats.timeouts += 1
+                raise QueueTimeout(
+                    f"queue full ({self.maxsize}) for {timeout_s} s"
+                ) from None
         self.stats.enqueued += 1
         depth = self._queue.qsize()
         if depth > self.stats.high_water:

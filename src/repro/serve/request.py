@@ -89,6 +89,11 @@ class ServeResponse:
     #: the request (``deciding_node == -1`` means refused outright).
     shed: bool
     timings: StageTimings
+    #: True when fault injection forced a degraded answer: escalation
+    #: retries exhausted, a parent crashed, or a per-hop timeout fired
+    #: — the label is the best locally available decision, not the one
+    #: the fault-free escalation walk would have produced.
+    degraded: bool = False
 
     @property
     def rejected(self) -> bool:
@@ -108,19 +113,27 @@ class ServeResult:
         n_shed_admission: int,
         n_shed_escalation: int,
         queue_high_water: Dict[int, int],
+        n_retries: int = 0,
+        n_timeouts: int = 0,
     ) -> None:
         self.responses = sorted(responses, key=lambda r: r.index)
         self.makespan_s = float(makespan_s)
         self.energy_j = float(energy_j)
-        #: bytes actually charged on the wire (per-flush bundles — may
-        #: exceed the offline accounting by bundle fragmentation).
+        #: bytes actually charged on the wire (per-flush bundles and
+        #: fault-injected retransmissions — may exceed the offline
+        #: accounting by bundle fragmentation and retries).
         self.wire_bytes = int(wire_bytes)
-        #: queries escalated over each (child -> parent) edge.
+        #: queries escalated over each (child -> parent) edge (each
+        #: request counted once per edge, retransmissions excluded).
         self.escalations = dict(escalations)
         self.n_shed_admission = int(n_shed_admission)
         self.n_shed_escalation = int(n_shed_escalation)
         #: max depth each node's inbox reached (memory bound witness).
         self.queue_high_water = dict(queue_high_water)
+        #: fault injection: (request, attempt) retransmissions issued.
+        self.n_retries = int(n_retries)
+        #: fault injection: loss-detection / per-hop timeouts that fired.
+        self.n_timeouts = int(n_timeouts)
 
     # ------------------------------------------------------------------
     @property
@@ -141,10 +154,49 @@ class ServeResult:
         return len(self.answered)
 
     @property
+    def n_degraded(self) -> int:
+        """Responses answered in degraded mode under fault injection."""
+        return sum(1 for r in self.responses if r.degraded)
+
+    @property
+    def degraded_rate(self) -> float:
+        """Fraction of all requests that got a degraded answer."""
+        if not self.responses:
+            return 0.0
+        return self.n_degraded / self.n_total
+
+    @property
     def throughput_rps(self) -> float:
         if self.makespan_s <= 0:
             return 0.0
         return self.n_answered / self.makespan_s
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> Tuple[Tuple[int, int, int, int, int, bool, bool], ...]:
+        """Timing-free semantic content of the run, for determinism tests.
+
+        One tuple per request (sorted by index): ``(index, start_leaf,
+        label, deciding_node, deciding_level, shed, degraded)``. Under
+        a fixed seed and :class:`~repro.serve.faults.FaultPlan` every
+        fault decision derives from structural tags, so two runs of the
+        same workload produce identical fingerprints even though
+        wall-clock timings (and hence micro-batch boundaries) differ.
+        Confidences are excluded: dense-backend BLAS accumulation order
+        varies with batch shape at the last ulp — compare them with
+        ``allclose`` separately.
+        """
+        return tuple(
+            (
+                r.index,
+                r.start_leaf,
+                r.label,
+                r.deciding_node,
+                r.deciding_level,
+                r.shed,
+                r.degraded,
+            )
+            for r in self.responses
+        )
 
     # ------------------------------------------------------------------
     def latencies_ms(self, stage: str = "total_ms") -> np.ndarray:
@@ -176,7 +228,8 @@ class ServeResult:
         counts with the same compressed-bundle arithmetic the offline
         walk uses, so ``total_bytes`` is directly comparable to
         ``HierarchicalInference.run`` on the same queries. Raises if
-        any request was shed (a shed run has no offline equivalent).
+        any request was shed or answered in degraded mode (neither has
+        an offline equivalent).
         """
         from repro.hierarchy.inference import InferenceOutcome
 
@@ -184,6 +237,11 @@ class ServeResult:
             raise ValueError(
                 f"cannot convert a run with {self.n_shed} shed requests "
                 "to an offline outcome"
+            )
+        if self.n_degraded:
+            raise ValueError(
+                f"cannot convert a run with {self.n_degraded} degraded "
+                "answers to an offline outcome"
             )
         rs = self.responses
         return InferenceOutcome(
@@ -224,4 +282,10 @@ class ServeResult:
             f"{self.wire_bytes / 1024:.1f} KiB  "
             f"energy: {self.energy_j * 1e3:.2f} mJ"
         )
+        if self.n_degraded or self.n_retries or self.n_timeouts:
+            lines.append(
+                f"faults: degraded {self.n_degraded} "
+                f"({self.degraded_rate:.1%})  retries {self.n_retries}  "
+                f"timeouts {self.n_timeouts}"
+            )
         return "\n".join(lines)

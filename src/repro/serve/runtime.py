@@ -26,6 +26,17 @@ The runtime computes node encodings from the raw feature rows
 composition cannot change any answer) rather than decoding the noisy
 bundles; the offline walk charges wire bytes the same way, which is
 what keeps served and offline outcomes identical.
+
+With a :class:`~repro.serve.faults.FaultPlan` the same tree serves
+through an unreliable network: escalation attempts drop and pay
+latency jitter, in-flight bundles lose dimensions/blocks, and non-root
+nodes crash for configured windows. Senders detect failures by
+timeout, retry with exponential backoff up to ``max_attempts``, and —
+when the parent stays unreachable — answer in **degraded mode** from
+the best locally available decision (the node's own model if nothing
+decided yet), flagged on :class:`ServeResponse`. Every request always
+receives exactly one terminal response; with no plan (or an inert
+one) the behaviour is bit-for-bit the fault-free fast path.
 """
 
 from __future__ import annotations
@@ -43,7 +54,8 @@ from repro.core.compression import compressed_bundle_bytes
 from repro.hierarchy.inference import HierarchicalInference
 from repro.network.medium import Medium
 from repro.serve.batcher import MicroBatcher
-from repro.serve.queueing import POLICIES, BoundedQueue, ShedError
+from repro.serve.faults import FaultPlan
+from repro.serve.queueing import POLICIES, BoundedQueue, QueueTimeout, ShedError
 from repro.serve.request import ServeRequest, ServeResponse, ServeResult
 from repro.serve.workload import ServeWorkload, poisson_arrivals
 
@@ -174,7 +186,7 @@ class _NodeServer:
         if not undecided:
             return
         if self.node_id != rt.root_id:
-            await rt._forward(undecided, rt.root_id)
+            await rt._forward(undecided, rt.root_id, origin=self)
             return
         labels, conf = self._predict(undecided)
         for i, req in enumerate(undecided):
@@ -192,6 +204,19 @@ class _NodeServer:
         rows = np.stack([req.features for req in batch])
         t0 = time.perf_counter()
         encoded = rt.federation.encode_at(self.node_id, rows, view="own")
+        plan = rt.plan
+        if plan is not None and plan.corrupts_payload:
+            # Replay the wire damage onto rows that escalated to get
+            # here; the pattern derives from (seed, node, request), so
+            # batch composition cannot change it.
+            encoded = np.asarray(encoded, dtype=np.float64)
+            for i, req in enumerate(batch):
+                if req.charged_path:
+                    encoded[i] = plan.corrupt(
+                        encoded[i], self.node_id, req.index
+                    )
+                    if obs.enabled():
+                        obs.incr("serve.faults.corrupted")
         t1 = time.perf_counter()
         result = rt.federation.classifiers[self.node_id].predict(
             encoded, backend=rt.inference.backend
@@ -210,33 +235,123 @@ class _NodeServer:
             obs.observe("serve.latency.search_ms", search_ms)
         return result.labels, result.top_confidence
 
-    async def _escalate(self, cohort: List[ServeRequest]) -> None:
-        """Ship the cohort upward as compressed m-query bundles."""
+    def _bundle_payload(self, count: int, parent: int) -> int:
+        """Wire bytes of ``count`` queries bundled toward ``parent``."""
         rt = self.runtime
-        parent = self.node.parent
-        assert parent is not None, "root nodes never escalate"
         m = rt.inference.compression_count
         parent_in_dim = sum(
             rt.hierarchy.nodes[c].dimension
             for c in rt.hierarchy.nodes[parent].children
         )
-        n_bundles = (len(cohort) + m - 1) // m
-        payload = n_bundles * compressed_bundle_bytes(parent_in_dim, m)
+        n_bundles = (count + m - 1) // m
+        return n_bundles * compressed_bundle_bytes(parent_in_dim, m)
+
+    async def _transmit(
+        self,
+        cohort: List[ServeRequest],
+        parent: int,
+        payload: int,
+        jitter_s: float = 0.0,
+        count_escalation: bool = True,
+    ) -> None:
+        """Charge and simulate one uplink bundle transfer.
+
+        ``count_escalation`` is False for fault-injected
+        retransmissions: the wire bytes and energy are spent again, but
+        the request is only counted once per escalation edge so the
+        aggregated escalation map stays comparable across runs.
+        """
+        rt = self.runtime
         medium = rt._edge_medium(self.node_id, parent)
-        delay = medium.transfer_time(payload)
+        delay = medium.transfer_time(payload, jitter_s=jitter_s)
         rt.energy_j += medium.transfer_energy(payload)
         rt.wire_bytes += payload
         edge = (self.node_id, parent)
-        rt.escalations[edge] = rt.escalations.get(edge, 0) + len(cohort)
+        if count_escalation:
+            rt.escalations[edge] = rt.escalations.get(edge, 0) + len(cohort)
+            if obs.enabled():
+                obs.incr("serve.escalated", len(cohort))
         if obs.enabled():
-            obs.incr("serve.escalated", len(cohort))
             obs.incr("serve.escalation.bytes", payload)
         # Store-and-forward: the uplink transfer occupies this node.
         await asyncio.sleep(delay)
         delay_ms = delay * 1e3
         for req in cohort:
             req.timings.escalation_rtt_ms += delay_ms
-        await rt._forward(cohort, parent, via_edge=edge)
+
+    async def _escalate(self, cohort: List[ServeRequest]) -> None:
+        """Ship the cohort upward as compressed m-query bundles.
+
+        Without a fault plan this is a single reliable transfer. Under
+        a plan each request's send is a per-attempt Bernoulli draw
+        (crashed parents fail the whole attempt); dropped requests wait
+        out the loss-detection timeout plus exponential backoff and are
+        retransmitted, up to ``max_attempts`` total tries, after which
+        they are answered in degraded mode instead of hanging.
+        """
+        rt = self.runtime
+        parent = self.node.parent
+        assert parent is not None, "root nodes never escalate"
+        plan = rt.plan
+        edge = (self.node_id, parent)
+        if plan is None:
+            payload = self._bundle_payload(len(cohort), parent)
+            await self._transmit(cohort, parent, payload)
+            await rt._forward(cohort, parent, via_edge=edge, origin=self)
+            return
+        pending = cohort
+        attempt = 0
+        counted = False
+        while pending:
+            attempt += 1
+            delivered: List[ServeRequest] = []
+            dropped: List[ServeRequest] = []
+            if plan.crashed(parent, rt._elapsed()):
+                # Dead parent: the whole attempt fails; nothing reaches
+                # the radio on the other side, so no bytes are charged.
+                dropped = pending
+            else:
+                payload = self._bundle_payload(len(pending), parent)
+                for req in pending:
+                    failed = plan.message_dropped(
+                        edge, req.index, attempt, payload
+                    )
+                    (dropped if failed else delivered).append(req)
+                jitter = plan.jitter_s(edge, pending[0].index, attempt)
+                await self._transmit(
+                    pending, parent, payload, jitter_s=jitter,
+                    count_escalation=not counted,
+                )
+                counted = True
+                if delivered:
+                    await rt._forward(
+                        delivered, parent, via_edge=edge, origin=self
+                    )
+            if not dropped:
+                return
+            # Loss detection: the sender waits out the ack timeout (and
+            # the backoff when a retry is still allowed).
+            rt.n_timeouts += 1
+            if obs.enabled():
+                obs.incr("serve.timeouts")
+            exhausted = attempt >= plan.max_attempts
+            delay = plan.timeout_s + (
+                0.0 if exhausted else plan.backoff_s(attempt - 1)
+            )
+            if delay > 0:
+                await asyncio.sleep(delay)
+                delay_ms = delay * 1e3
+                for req in dropped:
+                    req.timings.escalation_rtt_ms += delay_ms
+            if exhausted:
+                if obs.enabled():
+                    obs.incr("serve.faults.exhausted", len(dropped))
+                rt._degrade_cohort(self, dropped)
+                return
+            rt.n_retries += len(dropped)
+            if obs.enabled():
+                obs.incr("serve.retries", len(dropped))
+            pending = dropped
 
 
 class ServingRuntime:
@@ -254,6 +369,10 @@ class ServingRuntime:
     media_by_level:
         Optional per-child-level medium override, as in
         :class:`~repro.network.simulator.NetworkSimulator`.
+    fault_plan:
+        Optional deterministic chaos schedule
+        (:class:`~repro.serve.faults.FaultPlan`). An inert plan (every
+        knob zero) behaves exactly like ``None``.
     """
 
     _BATCH_BUCKETS = tuple(float(2 ** i) for i in range(0, 11))
@@ -264,6 +383,7 @@ class ServingRuntime:
         medium: Medium,
         config: Optional[ServeConfig] = None,
         media_by_level: Optional[Dict[int, Medium]] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.inference = inference
         self.federation = inference.federation
@@ -275,6 +395,24 @@ class ServingRuntime:
         root = self.hierarchy.root_id
         assert root is not None
         self.root_id: int = root
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            unknown = set(fault_plan.crash_windows) - set(self.hierarchy.nodes)
+            if unknown:
+                raise ValueError(
+                    f"crash_windows names unknown nodes {sorted(unknown)}"
+                )
+            if self.root_id in fault_plan.crash_windows:
+                raise ValueError(
+                    "the root node cannot crash: it is the escalation "
+                    "fallback of last resort"
+                )
+        #: the plan the serving loops consult; an inert plan is
+        #: normalized to None so the fault-free fast path stays
+        #: bit-identical to running without one.
+        self.plan: Optional[FaultPlan] = (
+            fault_plan if fault_plan is not None and fault_plan.active else None
+        )
         self._reset_state()
 
     # ------------------------------------------------------------------
@@ -286,10 +424,16 @@ class ServingRuntime:
         self.n_batches = 0
         self.n_shed_admission = 0
         self.n_shed_escalation = 0
+        self.n_retries = 0
+        self.n_timeouts = 0
         self._responses: List[ServeResponse] = []
         self._deliveries: set = set()
         self._t0 = 0.0
         self._last_completion = 0.0
+
+    def _elapsed(self) -> float:
+        """Seconds since the serving run started (crash-window clock)."""
+        return asyncio.get_running_loop().time() - self._t0
 
     def _edge_medium(self, source: int, destination: int) -> Medium:
         lower = min(
@@ -413,6 +557,8 @@ class ServingRuntime:
                 nid: server.queue.stats.high_water
                 for nid, server in self.nodes.items()
             },
+            n_retries=self.n_retries,
+            n_timeouts=self.n_timeouts,
         )
         # Offline-comparable message list (aggregated bundle math).
         result._offline_messages = self.inference.escalation_messages(
@@ -446,12 +592,25 @@ class ServingRuntime:
 
     # ------------------------------------------------------------------
     async def submit(self, req: ServeRequest) -> None:
-        """Admit one request at its start leaf (policy applies)."""
+        """Admit one request at its start leaf (policy applies).
+
+        A crashed entry node refuses admission outright: the request
+        completes immediately as a degraded rejection rather than
+        waiting on a dead inbox.
+        """
         loop = asyncio.get_running_loop()
         req.arrival_s = loop.time()
         req.enqueued_s = req.arrival_s
         if obs.enabled():
             obs.incr("serve.requests")
+        if self.plan is not None and self.plan.crashed(
+            req.start_leaf, self._elapsed()
+        ):
+            if obs.enabled():
+                obs.incr("serve.faults.crashed_admission")
+            self._finish(req, label=-1, confidence=0.0, node=-1, level=-1,
+                         shed=False, degraded=True)
+            return
         try:
             await self.nodes[req.start_leaf].queue.put(req)
         except ShedError:
@@ -466,20 +625,26 @@ class ServingRuntime:
         cohort: List[ServeRequest],
         destination: int,
         via_edge: Optional[Tuple[int, int]] = None,
+        origin: Optional[_NodeServer] = None,
     ) -> None:
         """Hand a cohort to another node's inbox (policy applies).
 
         ``via_edge`` marks a charged escalation edge: on success it
         joins the request's answer-descent path; on shed the request
         degrades to its last decision (the uplink was already spent —
-        the parent dropped the bundle).
+        the parent dropped the bundle). Under a fault plan the blocking
+        put is bounded by ``hop_timeout_s``: when it expires the
+        request is answered in degraded mode at ``origin`` (the sending
+        node) instead of wedging the sender forever.
         """
         loop = asyncio.get_running_loop()
         queue = self.nodes[destination].queue
+        plan = self.plan
+        timeout_s = plan.hop_timeout_s if plan is not None else None
         for req in cohort:
             req.enqueued_s = loop.time()
             try:
-                await queue.put(req)
+                await queue.put(req, timeout_s=timeout_s)
             except ShedError:
                 self.n_shed_escalation += 1
                 if obs.enabled():
@@ -490,13 +655,50 @@ class ServingRuntime:
                     self._finish(req, label=-1, confidence=0.0, node=-1,
                                  level=-1, shed=True)
                 continue
+            except QueueTimeout:
+                self.n_timeouts += 1
+                if obs.enabled():
+                    obs.incr("serve.timeouts")
+                if origin is not None:
+                    self._degrade_cohort(origin, [req])
+                elif req.decided is not None:
+                    self._answer(req, degraded=True)
+                else:
+                    self._finish(req, label=-1, confidence=0.0, node=-1,
+                                 level=-1, shed=False, degraded=True)
+                continue
             if via_edge is not None:
                 req.charged_path.append(via_edge)
+
+    def _degrade_cohort(
+        self, server: _NodeServer, cohort: List[ServeRequest]
+    ) -> None:
+        """Answer ``cohort`` in degraded mode at ``server``'s node.
+
+        Requests that already passed a decision-capable node answer
+        with that decision; the rest are classified by this node's own
+        model — even below ``min_level`` — because a sensing node whose
+        uplink is gone answering from its local model is the graceful
+        degradation the paper's robustness study argues for (better a
+        low-tier answer than none).
+        """
+        undecided = [req for req in cohort if req.decided is None]
+        if undecided:
+            labels, conf = server._predict(undecided)
+            level = server.node.level
+            for i, req in enumerate(undecided):
+                req.decided = (
+                    int(labels[i]), float(conf[i]), server.node_id, level
+                )
+        for req in cohort:
+            self._answer(req, degraded=True)
 
     # ------------------------------------------------------------------
     # answers
     # ------------------------------------------------------------------
-    def _answer(self, req: ServeRequest, shed: bool = False) -> None:
+    def _answer(
+        self, req: ServeRequest, shed: bool = False, degraded: bool = False
+    ) -> None:
         """Complete a request with its recorded decision.
 
         The 4-byte prediction descends every escalation edge the query
@@ -513,12 +715,14 @@ class ServingRuntime:
         if delay > 0:
             req.timings.escalation_rtt_ms += delay * 1e3
             task = asyncio.ensure_future(
-                self._deliver(req, delay, label, confidence, node, level, shed)
+                self._deliver(
+                    req, delay, label, confidence, node, level, shed, degraded
+                )
             )
             self._deliveries.add(task)
             task.add_done_callback(self._deliveries.discard)
         else:
-            self._finish(req, label, confidence, node, level, shed)
+            self._finish(req, label, confidence, node, level, shed, degraded)
 
     async def _deliver(
         self,
@@ -529,9 +733,10 @@ class ServingRuntime:
         node: int,
         level: int,
         shed: bool,
+        degraded: bool,
     ) -> None:
         await asyncio.sleep(delay)
-        self._finish(req, label, confidence, node, level, shed)
+        self._finish(req, label, confidence, node, level, shed, degraded)
 
     def _finish(
         self,
@@ -541,6 +746,7 @@ class ServingRuntime:
         node: int,
         level: int,
         shed: bool,
+        degraded: bool = False,
     ) -> None:
         loop = asyncio.get_running_loop()
         now = loop.time()
@@ -555,6 +761,7 @@ class ServingRuntime:
             deciding_level=level,
             shed=shed,
             timings=req.timings,
+            degraded=degraded,
         )
         self._responses.append(response)
         if obs.enabled():
@@ -565,6 +772,8 @@ class ServingRuntime:
     def _record_response(self, response: ServeResponse) -> None:
         t = response.timings
         obs.incr("serve.responses")
+        if response.degraded:
+            obs.incr("serve.degraded_answers")
         if response.rejected:
             obs.incr("serve.rejected")
             return

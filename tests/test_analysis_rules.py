@@ -86,6 +86,38 @@ class TestRngDiscipline:
         )
         assert findings == []
 
+    def test_fires_on_default_rng_in_fault_plan(self):
+        """A chaos-harness jitter helper drawing from a raw generator
+        (instead of derive_rng) must trip the discipline rule."""
+        findings = findings_for(
+            """
+            import numpy as np
+
+            def jitter_s(self, edge, index, attempt):
+                rng = np.random.default_rng()
+                return float(rng.uniform(0.0, self.latency_jitter_s))
+            """,
+            path="src/repro/serve/faults.py",
+        )
+        assert rule_ids(findings) == ["REPRO101"]
+
+    def test_clean_derived_fault_stream(self):
+        """The real FaultPlan idiom — a stream derived from the plan
+        seed and a structural tag — is clean."""
+        findings = findings_for(
+            """
+            from repro.utils.rng import derive_rng
+
+            def jitter_s(self, edge, index, attempt):
+                rng = derive_rng(
+                    self.seed, f"jitter:{edge[0]}->{edge[1]}:{index}:{attempt}"
+                )
+                return float(rng.uniform(0.0, self.latency_jitter_s))
+            """,
+            path="src/repro/serve/faults.py",
+        )
+        assert findings == []
+
     def test_generator_annotation_is_not_a_call(self):
         findings = findings_for(
             """

@@ -1,0 +1,42 @@
+"""Tier-1 smoke for the chaos-serving benchmark (its --smoke mode).
+
+Loads ``benchmarks/bench_chaos_serving.py`` and runs its
+timing-independent checks: an inert FaultPlan must serve bit-identically
+to no plan and to the offline walk, a chaos run must repeat its
+semantic fingerprint under the same seed, and a run with drop 0.3 plus
+one permanently crashed non-root node must answer every request — the
+guard that fault injection can never silently change fault-free
+behaviour or lose work.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def _load_bench_module():
+    if str(BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(BENCH_DIR))
+    spec = importlib.util.spec_from_file_location(
+        "bench_chaos_smoke", BENCH_DIR / "bench_chaos_serving.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_chaos_smoke_mode():
+    bench = _load_bench_module()
+    evidence = bench.check_chaos()
+    assert evidence["inert_plan_equal"] is True
+    assert evidence["chaos_deterministic"] is True
+    assert len(evidence["crashed_nodes"]) == 1
+    assert evidence["degraded"] > 0
+
+
+def test_bench_chaos_smoke_cli_entrypoint(capsys):
+    bench = _load_bench_module()
+    bench.main(["--smoke"])
+    assert "chaos smoke OK" in capsys.readouterr().out

@@ -163,6 +163,30 @@ class TestServeBench:
         code = main(["serve-bench", "--dataset", "MNIST", "--scale", "0.001"])
         assert code == 2
 
+    def test_faults_run(self, capsys):
+        code = main(
+            [
+                "serve-bench", "--dataset", "APRI", "--dimension", "256",
+                "--scale", "0.05", "--max-train", "500", "--max-test", "150",
+                "--epochs", "2", "--rate", "2000", "--faults",
+                "--fault-drop", "0.3", "--fault-dim-loss", "0.15",
+                "--fault-crash", "1", "--fault-seed", "42",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults: drop 0.30" in out
+        assert "crashed nodes [1]" in out
+        assert "degraded" in out
+
+    def test_faults_parser_defaults(self):
+        args = build_parser().parse_args(["serve-bench", "--faults"])
+        assert args.faults is True
+        assert args.fault_drop == 0.1
+        assert args.fault_dim_loss == 0.0
+        assert args.fault_crash is None
+        assert args.fault_seed is None
+
 
 class TestOutputPaths:
     def test_report_output_creates_parent_dirs(self, capsys, tmp_path):

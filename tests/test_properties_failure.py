@@ -1,0 +1,150 @@
+"""Property-based tests of :mod:`repro.network.failure` (Hypothesis).
+
+The failure-injection primitives sit under both the Fig. 12 robustness
+experiments and the serving chaos harness, so their contracts are
+pinned over randomized shapes and fractions rather than a handful of
+examples: output shape/dtype preserved, the input never mutated, the
+realized loss matching ``round(fraction * n)`` exactly, untouched
+entries bit-exact, and every draw seed-deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.failure import (
+    drop_blocks,
+    drop_dimensions,
+    flip_dimensions,
+)
+
+#: all entries drawn away from 0 so injected zeros are unambiguous.
+matrices = st.tuples(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=96),
+    st.integers(min_value=0, max_value=2**31 - 1),
+).map(
+    lambda t: np.random.default_rng(t[2]).uniform(0.5, 1.5, size=(t[0], t[1]))
+)
+
+fractions = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(mat=matrices, frac=fractions, seed=seeds)
+@settings(max_examples=60, deadline=None)
+def test_drop_dimensions_contract(mat, frac, seed):
+    before = mat.copy()
+    out = drop_dimensions(mat, frac, seed=seed)
+    assert out.shape == mat.shape
+    assert out.dtype == np.float64
+    assert np.array_equal(mat, before), "input must not be mutated"
+    n_rows, dim = mat.shape
+    n_lost = int(round(frac * dim))
+    for r in range(n_rows):
+        zeros = np.flatnonzero(out[r] == 0.0)
+        assert zeros.size == n_lost
+        kept = np.setdiff1d(np.arange(dim), zeros)
+        assert np.array_equal(out[r, kept], mat[r, kept]), (
+            "surviving dimensions must be bit-exact"
+        )
+    again = drop_dimensions(mat, frac, seed=seed)
+    assert np.array_equal(out, again), "same seed must give same erasures"
+
+
+@given(
+    mat=matrices,
+    frac=fractions,
+    block_size=st.integers(min_value=1, max_value=48),
+    seed=seeds,
+)
+@settings(max_examples=60, deadline=None)
+def test_drop_blocks_contract(mat, frac, block_size, seed):
+    before = mat.copy()
+    out = drop_blocks(mat, frac, block_size=block_size, seed=seed)
+    assert out.shape == mat.shape
+    assert out.dtype == np.float64
+    assert np.array_equal(mat, before), "input must not be mutated"
+    n_rows, dim = mat.shape
+    n_blocks = max(1, dim // block_size)
+    n_lost = min(int(round(frac * n_blocks)), n_blocks)
+    for r in range(n_rows):
+        zeros = np.flatnonzero(out[r] == 0.0)
+        if n_lost == 0:
+            assert zeros.size == 0
+        else:
+            # The zeros must form exactly n_lost aligned blocks, each
+            # erased end to end (the last block absorbs the ragged
+            # tail when block_size doesn't divide the dimension).
+            block_ids = np.minimum(zeros // block_size, n_blocks - 1)
+            lost_blocks = np.unique(block_ids)
+            assert lost_blocks.size == n_lost
+            for b in lost_blocks:
+                start = int(b) * block_size
+                end = dim if b == n_blocks - 1 else start + block_size
+                assert np.all(out[r, start:end] == 0.0), (
+                    "a lost block must be erased end to end"
+                )
+        kept = np.setdiff1d(np.arange(dim), zeros)
+        assert np.array_equal(out[r, kept], mat[r, kept])
+    again = drop_blocks(mat, frac, block_size=block_size, seed=seed)
+    assert np.array_equal(out, again), "same seed must give same erasures"
+
+
+@given(mat=matrices, frac=fractions, seed=seeds)
+@settings(max_examples=60, deadline=None)
+def test_flip_dimensions_contract(mat, frac, seed):
+    before = mat.copy()
+    out = flip_dimensions(mat, frac, seed=seed)
+    assert out.shape == mat.shape
+    assert out.dtype == np.float64
+    assert np.array_equal(mat, before), "input must not be mutated"
+    flipped = out != mat
+    assert np.array_equal(out[flipped], -mat[flipped]), (
+        "changed entries must be exact sign flips"
+    )
+    assert np.array_equal(out[~flipped], mat[~flipped])
+    realized = flipped.mean()
+    assert abs(realized - frac) <= 4.0 * np.sqrt(
+        max(frac * (1 - frac), 1e-12) / mat.size
+    ) + 5e-2, "realized flip rate must track the requested fraction"
+    again = flip_dimensions(mat, frac, seed=seed)
+    assert np.array_equal(out, again)
+
+
+@given(
+    dim=st.integers(min_value=1, max_value=96),
+    frac=fractions,
+    seed=seeds,
+)
+@settings(max_examples=40, deadline=None)
+def test_one_dimensional_round_trip(dim, frac, seed):
+    """1-D inputs come back 1-D with the same per-row semantics."""
+    vec = np.random.default_rng(seed).uniform(0.5, 1.5, size=dim)
+    for fn in (
+        lambda v: drop_dimensions(v, frac, seed=seed),
+        lambda v: drop_blocks(v, frac, block_size=8, seed=seed),
+        lambda v: flip_dimensions(v, frac, seed=seed),
+    ):
+        out = fn(vec)
+        assert out.shape == (dim,)
+        assert out.dtype == np.float64
+
+
+@given(mat=matrices, seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_zero_fraction_is_identity(mat, seed):
+    for fn in (drop_dimensions, flip_dimensions):
+        assert np.array_equal(fn(mat, 0.0, seed=seed), mat)
+    assert np.array_equal(drop_blocks(mat, 0.0, seed=seed), mat)
+
+
+@given(mat=matrices, seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_full_fraction_erases_everything(mat, seed):
+    assert np.all(drop_dimensions(mat, 1.0, seed=seed) == 0.0)
+    assert np.all(drop_blocks(mat, 1.0, block_size=7, seed=seed) == 0.0)
