@@ -21,8 +21,9 @@ non-root node loses no requests), which is also what
 import math
 
 import numpy as np
-from _common import bench_scale, save_json, save_report
+from _common import RESULTS_DIR, bench_scale, save_json, save_report
 
+import repro.obs as obs
 from repro.config import EdgeHDConfig
 from repro.data import DATASETS, load_dataset, partition_features
 from repro.hierarchy import (
@@ -32,6 +33,7 @@ from repro.hierarchy import (
 )
 from repro.network.medium import get_medium
 from repro.serve import FaultPlan, ServeConfig, ServingRuntime, make_workload
+from repro.serve.report import render_report
 
 DATASET = "APRI"
 MEDIUM = "wifi-802.11ac"
@@ -147,6 +149,61 @@ def run_grid(scale=None) -> dict:
     }
 
 
+def run_traced_example(federation, data) -> dict:
+    """One fully traced chaos run: the observability artifact set.
+
+    Serves one representative faulted cell with tracing, the telemetry
+    sampler and the flight recorder on, then drops the request trace,
+    telemetry series, flight-recorder dump and rendered ``serve-report``
+    under ``benchmarks/results/`` — the end-to-end evidence that a
+    degraded request's causal timeline is reconstructable offline.
+    """
+    inference = HierarchicalInference(
+        federation, confidence_threshold=THRESHOLD
+    )
+    workload = make_workload(
+        data.test_x, inference, seed=3, labels=data.test_y
+    )
+    plan = FaultPlan(
+        seed=FAULT_SEED,
+        drop_probability=0.3,
+        crash_windows=crash_plan_windows(federation.hierarchy),
+    )
+    runtime = ServingRuntime(
+        inference,
+        get_medium(MEDIUM),
+        ServeConfig(
+            max_batch=MAX_BATCH, max_wait_ms=2.0,
+            queue_depth=max(64, len(workload)),
+        ),
+        fault_plan=plan,
+    )
+    was_enabled = obs.enabled()
+    obs.enable()
+    try:
+        result = runtime.serve_open_loop(workload, rate_rps=RATE_RPS, seed=1)
+    finally:
+        if not was_enabled:
+            obs.disable()
+    assert result.traces is not None and result.telemetry is not None
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    trace_path = RESULTS_DIR / "BENCH_chaos_requests.trace.jsonl"
+    n_events = result.traces.export_jsonl(trace_path)
+    result.telemetry.export_jsonl(RESULTS_DIR / "BENCH_chaos_telemetry.jsonl")
+    runtime.flight.export_jsonl(RESULTS_DIR / "BENCH_chaos_flight.jsonl")
+    report = render_report(result.traces.by_request(), slo_ms=50.0)
+    (RESULTS_DIR / "BENCH_chaos_serve_report.txt").write_text(report + "\n")
+    print(f"[saved request trace ({n_events} events), telemetry, flight "
+          f"recorder and serve-report to benchmarks/results/]")
+    return {
+        "trace_events": n_events,
+        "traced_requests": result.traces.n_requests,
+        "telemetry_samples": len(result.telemetry),
+        "flight_events": len(result.flight_events),
+        "degraded": result.n_degraded,
+    }
+
+
 def format_grid(payload: dict) -> str:
     lines = [
         f"Chaos serving {payload['dataset']} over {payload['medium']} at "
@@ -247,6 +304,8 @@ def bench_chaos_serving(benchmark):
         run_grid, rounds=1, iterations=1, warmup_rounds=0
     )
     payload["smoke"] = check_chaos()
+    federation, data = train_federation()
+    payload["traced_example"] = run_traced_example(federation, data)
     save_json("BENCH_chaos", payload)
     save_report("bench_chaos_serving", format_grid(payload))
     for cell in payload["cells"]:
@@ -270,6 +329,8 @@ def main(argv=None) -> None:
         return
     payload = run_grid()
     payload["smoke"] = check_chaos()
+    federation, data = train_federation()
+    payload["traced_example"] = run_traced_example(federation, data)
     save_json("BENCH_chaos", payload)
     save_report("bench_chaos_serving", format_grid(payload))
 

@@ -17,8 +17,9 @@ walk; overload sheds instead of growing queues), which is also what
 """
 
 import numpy as np
-from _common import bench_scale, save_json, save_report
+from _common import RESULTS_DIR, bench_scale, save_json, save_report
 
+import repro.obs as obs
 from repro.config import EdgeHDConfig
 from repro.data import DATASETS, load_dataset, partition_features
 from repro.hierarchy import (
@@ -111,6 +112,36 @@ def run_grid(scale=None) -> dict:
             "escalation RTT)"
         ),
         "cells": cells,
+    }
+
+
+def export_openmetrics_example(federation, data) -> dict:
+    """One instrumented cell, exported as an OpenMetrics exposition.
+
+    Serves a single fault-free cell with observability on and writes
+    the resulting registry — latency histograms plus the sampler's
+    labeled per-node gauges — as Prometheus-scrapable text under
+    ``benchmarks/results/BENCH_serving_openmetrics.txt``.
+    """
+    was_enabled = obs.enabled()
+    obs.reset()
+    obs.enable()
+    try:
+        cell = run_cell(federation, data, 2.0, 0.8, "dense")
+        text = obs.render_openmetrics()
+    finally:
+        if not was_enabled:
+            obs.disable()
+        obs.reset()
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / "BENCH_serving_openmetrics.txt"
+    path.write_text(text)
+    families = obs.parse_openmetrics(text)
+    print(f"[saved {len(families)} OpenMetrics families to "
+          f"benchmarks/results/{path.name}]")
+    return {
+        "families": len(families),
+        "throughput_rps": cell["throughput_rps"],
     }
 
 
@@ -214,6 +245,8 @@ def bench_serving(benchmark):
         run_grid, rounds=1, iterations=1, warmup_rounds=0
     )
     payload["smoke"] = check_equivalence()
+    federation, data = train_federation()
+    payload["openmetrics"] = export_openmetrics_example(federation, data)
     save_json("BENCH_serving", payload)
     save_report("bench_serving", format_grid(payload))
     for cell in payload["cells"]:
@@ -237,6 +270,8 @@ def main(argv=None) -> None:
         return
     payload = run_grid()
     payload["smoke"] = check_equivalence()
+    federation, data = train_federation()
+    payload["openmetrics"] = export_openmetrics_example(federation, data)
     save_json("BENCH_serving", payload)
     save_report("bench_serving", format_grid(payload))
 

@@ -11,7 +11,16 @@ Subcommands
 ``serve-bench``
     Train a federation and serve its test set live through the asyncio
     runtime (:mod:`repro.serve`): micro-batching, bounded queues, and a
-    per-stage latency breakdown with p50/p95/p99.
+    per-stage latency breakdown with p50/p95/p99. With observability
+    on, ``--trace`` writes the *request-level* trace (one event per
+    line, not spans), and ``--telemetry`` / ``--flight`` /
+    ``--openmetrics`` export the sampled time-series, the flight
+    recorder and a Prometheus-scrapable exposition.
+``serve-report``
+    Offline analysis of a ``serve-bench --trace`` file: per-stage
+    latency breakdown, critical-path attribution per percentile band,
+    degradation root causes, SLO attainment (``--slo-ms``) and one
+    full request timeline (``--request`` to pick one).
 ``reproduce``
     Regenerate one (or all) of the paper's tables/figures.
 ``datasets``
@@ -19,7 +28,10 @@ Subcommands
 ``report``
     Stitch saved benchmark reports into one markdown document.
 ``stats``
-    Render the metrics registry dumped by an instrumented run.
+    Render the metrics registry dumped by an instrumented run
+    (``--format table|json|openmetrics``); ``--merge a.json b.json``
+    folds several dumps first (counters add, gauges last-writer,
+    histogram buckets sum).
 ``lint``
     Run the repo-specific AST invariant checker
     (:mod:`repro.analysis`) over source paths.
@@ -30,9 +42,10 @@ With ``REPRO_OBS=1`` (or a ``--trace`` flag, which implies it) the
 ``train`` / ``federate`` / ``reproduce`` commands record metrics and
 spans (see :mod:`repro.obs`), dump the registry to
 ``repro-obs-stats.json`` on exit, and — when ``--trace PATH`` is given
-— write the span trace as JSON lines to ``PATH``. ``repro stats``
-pretty-prints the dump. ``-v`` / ``-vv`` turn on INFO / DEBUG logging
-for the ``repro.*`` namespace.
+— write the span trace as JSON lines to ``PATH``. For ``serve-bench``
+the same flag writes the request-level trace instead (the input of
+``serve-report``). ``repro stats`` pretty-prints the dump. ``-v`` /
+``-vv`` turn on INFO / DEBUG logging for the ``repro.*`` namespace.
 
 Examples
 --------
@@ -44,6 +57,9 @@ Examples
     REPRO_OBS=1 python -m repro.cli federate --dataset PDP
     python -m repro.cli stats
     python -m repro.cli reproduce --figure table2 --quick --trace run.jsonl
+    python -m repro.cli serve-bench --faults --trace t.jsonl
+    python -m repro.cli serve-report t.jsonl --slo-ms 25
+    python -m repro.cli stats --merge w0.json w1.json --format openmetrics
     python -m repro.cli lint src/ --format json
 """
 
@@ -283,6 +299,44 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
         accuracy = float(np.mean(np.asarray(served_labels) == truth))
         print(f"accuracy (answered): {accuracy:.3f}")
+    if obs.enabled():
+        print(runtime.flight.summary())
+        if args.trace and result.traces is not None:
+            written = result.traces.export_jsonl(args.trace)
+            print(
+                f"[obs] {written} trace events "
+                f"({result.traces.n_requests} requests, "
+                f"{result.traces.dropped} dropped) written to {args.trace} "
+                f"(view: repro serve-report {args.trace})"
+            )
+        if args.telemetry and result.telemetry is not None:
+            written = result.telemetry.export_jsonl(args.telemetry)
+            print(f"[obs] {written} telemetry samples written to "
+                  f"{args.telemetry}")
+        if args.flight:
+            written = runtime.flight.export_jsonl(args.flight)
+            print(f"[obs] {written} flight events written to {args.flight}")
+        if args.openmetrics:
+            out = Path(args.openmetrics)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(obs.render_openmetrics())
+            print(f"[obs] OpenMetrics exposition written to {out}")
+    return 0
+
+
+def _cmd_serve_report(args: argparse.Namespace) -> int:
+    """Render the per-stage / critical-path report from a trace file."""
+    from repro.serve.report import serve_report
+
+    source = Path(args.trace_file)
+    if not source.exists():
+        print(f"error: trace file {source} not found", file=sys.stderr)
+        return 2
+    print(
+        serve_report(
+            source, slo_ms=args.slo_ms, request_id=args.request
+        )
+    )
     return 0
 
 
@@ -355,21 +409,52 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    source = Path(args.input) if args.input else obs.default_stats_path()
-    if source.exists():
-        registry = obs.load_stats(source)
-        origin = f"loaded from {source}"
-    elif args.input:
-        print(f"error: stats file {source} not found", file=sys.stderr)
-        return 2
+    fmt = "json" if args.json else args.format
+    if args.merge:
+        registry = None
+        for raw in args.merge:
+            path = Path(raw)
+            if not path.exists():
+                print(f"error: stats file {path} not found", file=sys.stderr)
+                return 2
+            loaded = obs.load_stats(path)
+            if registry is None:
+                registry = loaded
+            else:
+                try:
+                    registry.merge(loaded)
+                except (TypeError, ValueError) as exc:
+                    print(f"error merging {path}: {exc}", file=sys.stderr)
+                    return 2
+        assert registry is not None
+        origin = f"merged from {len(args.merge)} dumps"
     else:
-        # No dump on disk: fall back to this process's (likely empty)
-        # registry so `repro stats` is still usable programmatically.
-        registry = obs.get_registry()
-        origin = "in-process registry (no stats file found; run an " \
-                 "instrumented command with REPRO_OBS=1 first)"
-    print(obs.render_stats(registry, as_json=args.json))
-    if not args.json:
+        source = Path(args.input) if args.input else obs.default_stats_path()
+        if source.exists():
+            registry = obs.load_stats(source)
+            origin = f"loaded from {source}"
+        elif args.input:
+            print(f"error: stats file {source} not found", file=sys.stderr)
+            return 2
+        else:
+            # No dump on disk: fall back to this process's (likely
+            # empty) registry so `repro stats` is still usable
+            # programmatically.
+            registry = obs.get_registry()
+            origin = "in-process registry (no stats file found; run an " \
+                     "instrumented command with REPRO_OBS=1 first)"
+    if fmt == "openmetrics":
+        rendered = obs.render_openmetrics(registry)
+    else:
+        rendered = obs.render_stats(registry, as_json=(fmt == "json"))
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(rendered + ("" if rendered.endswith("\n") else "\n"))
+        print(f"wrote {out}")
+        return 0
+    print(rendered)
+    if fmt == "table":
         print(f"\n[{origin}]")
     return 0
 
@@ -528,6 +613,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=None,
         help="fault stream seed (defaults to --seed)",
     )
+    serve_bench.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="write the sampled time-series as JSONL (implies --trace obs)",
+    )
+    serve_bench.add_argument(
+        "--flight", default=None, metavar="PATH",
+        help="dump the flight recorder (fault events) as JSONL",
+    )
+    serve_bench.add_argument(
+        "--openmetrics", default=None, metavar="PATH",
+        help="write an OpenMetrics text exposition of the run's metrics",
+    )
+
+    serve_report = sub.add_parser(
+        "serve-report",
+        help="per-stage latency, critical-path and SLO report from a "
+             "serve-bench --trace file",
+    )
+    serve_report.add_argument(
+        "trace_file", metavar="TRACE",
+        help="request-trace JSONL written by serve-bench --trace",
+    )
+    serve_report.add_argument(
+        "--slo-ms", type=float, default=None,
+        help="latency target for the SLO attainment section",
+    )
+    serve_report.add_argument(
+        "--request", type=int, default=None, metavar="ID",
+        help="render this request's timeline (default: a degraded or "
+             "the slowest request)",
+    )
 
     report = sub.add_parser(
         "report", help="aggregate saved benchmark reports into markdown"
@@ -555,7 +671,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="stats dump to render (default: repro-obs-stats.json or "
              "$REPRO_OBS_STATS)",
     )
-    stats.add_argument("--json", action="store_true", help="raw JSON output")
+    stats.add_argument(
+        "--json", action="store_true",
+        help="raw JSON output (alias for --format json)",
+    )
+    stats.add_argument(
+        "--format", default="table",
+        choices=("table", "json", "openmetrics"),
+        help="output format (openmetrics = Prometheus text exposition)",
+    )
+    stats.add_argument(
+        "--merge", nargs="+", default=None, metavar="PATH",
+        help="merge these stats dumps before rendering (counters add, "
+             "gauges last-writer, histogram buckets sum)",
+    )
+    stats.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the rendered output to a file instead of stdout",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -587,6 +720,7 @@ _HANDLERS = {
     "train": _cmd_train,
     "federate": _cmd_federate,
     "serve-bench": _cmd_serve_bench,
+    "serve-report": _cmd_serve_report,
     "reproduce": _cmd_reproduce,
     "stats": _cmd_stats,
     "lint": _cmd_lint,
@@ -595,18 +729,26 @@ _HANDLERS = {
 #: commands that record metrics and persist them on exit.
 _INSTRUMENTED = {"train", "federate", "serve-bench", "reproduce"}
 
+#: commands whose handler writes its own --trace file (request-level
+#: trace events); main() must not overwrite it with the span buffer.
+_OWN_TRACE_EXPORT = {"serve-bench"}
+
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     _configure_logging(args.verbose)
     trace_path = getattr(args, "trace", None)
-    if trace_path:
+    wants_obs = trace_path or any(
+        getattr(args, flag, None)
+        for flag in ("telemetry", "flight", "openmetrics")
+    )
+    if wants_obs:
         obs.enable()
     code = _HANDLERS[args.command](args)
     if args.command in _INSTRUMENTED and obs.enabled():
         stats_path = obs.dump_stats()
         print(f"[obs] metrics written to {stats_path} (view: repro stats)")
-        if trace_path:
+        if trace_path and args.command not in _OWN_TRACE_EXPORT:
             written = obs.export_trace(trace_path)
             print(f"[obs] {written} spans written to {trace_path}")
     return code

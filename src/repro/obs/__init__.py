@@ -32,9 +32,10 @@ from __future__ import annotations
 
 import logging
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Mapping, Optional, Sequence, Union
 
 from repro.obs import runtime
+from repro.obs.openmetrics import parse_openmetrics, render_openmetrics
 from repro.obs.registry import (
     DEFAULT_TIME_BUCKETS_MS,
     UNIT_BUCKETS,
@@ -42,7 +43,9 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    format_series_key,
     get_registry,
+    parse_series_key,
 )
 from repro.obs.runtime import disable as _runtime_disable
 from repro.obs.runtime import enable as _runtime_enable
@@ -53,6 +56,13 @@ from repro.obs.stats import (
     dump_stats,
     load_stats,
     render_stats,
+)
+from repro.obs.telemetry import (
+    FlightEvent,
+    FlightRecorder,
+    TelemetryLog,
+    TelemetrySample,
+    TelemetrySampler,
 )
 
 __all__ = [
@@ -74,12 +84,21 @@ __all__ = [
     "load_stats",
     "default_stats_path",
     "export_trace",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "format_series_key",
+    "parse_series_key",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "SpanRecord",
     "TraceBuffer",
+    "TelemetryLog",
+    "TelemetrySample",
+    "TelemetrySampler",
+    "FlightEvent",
+    "FlightRecorder",
     "DEFAULT_TIME_BUCKETS_MS",
     "UNIT_BUCKETS",
 ]
@@ -108,30 +127,45 @@ def reset() -> None:
 # ----------------------------------------------------------------------
 # fast-path helpers — one flag check, then a dict lookup + arithmetic
 # ----------------------------------------------------------------------
-def incr(name: str, amount: Union[int, float] = 1) -> None:
+def incr(
+    name: str,
+    amount: Union[int, float] = 1,
+    labels: Optional[Mapping[str, object]] = None,
+) -> None:
     """Increment counter ``name`` (no-op when disabled)."""
     if runtime.active:
-        get_registry().counter(name).inc(amount)
+        get_registry().counter(name, labels=labels).inc(amount)
 
 
-def gauge_set(name: str, value: Union[int, float]) -> None:
+def gauge_set(
+    name: str,
+    value: Union[int, float],
+    labels: Optional[Mapping[str, object]] = None,
+) -> None:
     """Set gauge ``name`` (no-op when disabled)."""
     if runtime.active:
-        get_registry().gauge(name).set(value)
+        get_registry().gauge(name, labels=labels).set(value)
 
 
-def gauge_add(name: str, amount: Union[int, float]) -> None:
+def gauge_add(
+    name: str,
+    amount: Union[int, float],
+    labels: Optional[Mapping[str, object]] = None,
+) -> None:
     """Add to gauge ``name`` (no-op when disabled)."""
     if runtime.active:
-        get_registry().gauge(name).add(amount)
+        get_registry().gauge(name, labels=labels).add(amount)
 
 
 def observe(
-    name: str, value: float, bounds: Optional[Sequence[float]] = None
+    name: str,
+    value: float,
+    bounds: Optional[Sequence[float]] = None,
+    labels: Optional[Mapping[str, object]] = None,
 ) -> None:
     """Record ``value`` into histogram ``name`` (no-op when disabled)."""
     if runtime.active:
-        get_registry().histogram(name, bounds).observe(value)
+        get_registry().histogram(name, bounds, labels=labels).observe(value)
 
 
 def snapshot() -> dict:

@@ -15,7 +15,18 @@ emits them, e.g. ``core.encode.samples``, ``hierarchy.escalations.l2``,
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
 
 __all__ = [
     "Counter",
@@ -23,6 +34,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "format_series_key",
+    "parse_series_key",
     "DEFAULT_TIME_BUCKETS_MS",
     "UNIT_BUCKETS",
 ]
@@ -37,16 +50,50 @@ DEFAULT_TIME_BUCKETS_MS: Tuple[float, ...] = tuple(
 #: Linear buckets over [0, 1] for probabilities / confidences.
 UNIT_BUCKETS: Tuple[float, ...] = tuple(round(0.05 * i, 2) for i in range(1, 21))
 
+#: A frozen, sorted label set, e.g. ``(("node", "3"), ("stage", "encode"))``.
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def _freeze_labels(labels: Optional[Mapping[str, Any]]) -> Labels:
+    """Canonicalize a label mapping: sorted keys, string values."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def format_series_key(name: str, labels: Optional[Mapping[str, Any]] = None) -> str:
+    """Canonical registry key: ``name`` or ``name{k="v",...}``."""
+    frozen = labels if isinstance(labels, tuple) else _freeze_labels(labels)
+    if not frozen:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in frozen)
+    return f"{name}{{{inner}}}"
+
+
+def parse_series_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`format_series_key` (for snapshot round-trips)."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: Dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        if not part:
+            continue
+        k, _, v = part.partition("=")
+        labels[k] = v.strip('"')
+    return name, labels
+
 
 class Counter:
     """Monotonically non-decreasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
     kind = "counter"
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: Union[int, float] = 0
+        self.labels: Labels = ()
 
     def inc(self, amount: Union[int, float] = 1) -> None:
         if amount < 0:
@@ -56,18 +103,22 @@ class Counter:
         self.value += amount
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "value": self.value}
+        out: dict = {"kind": self.kind, "value": self.value}
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
 
 
 class Gauge:
     """Last-written value; may move in either direction."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
     kind = "gauge"
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: Union[int, float] = 0
+        self.labels: Labels = ()
 
     def set(self, value: Union[int, float]) -> None:
         self.value = value
@@ -76,7 +127,10 @@ class Gauge:
         self.value += amount
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "value": self.value}
+        out: dict = {"kind": self.kind, "value": self.value}
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
 
 
 class Histogram:
@@ -87,7 +141,9 @@ class Histogram:
     creation — no re-bucketing on the fast path.
     """
 
-    __slots__ = ("name", "bounds", "counts", "count", "total", "vmin", "vmax")
+    __slots__ = (
+        "name", "bounds", "counts", "count", "total", "vmin", "vmax", "labels",
+    )
     kind = "histogram"
 
     def __init__(self, name: str, bounds: Sequence[float]) -> None:
@@ -103,6 +159,7 @@ class Histogram:
         self.total = 0.0
         self.vmin = float("inf")
         self.vmax = float("-inf")
+        self.labels: Labels = ()
 
     def observe(self, value: float) -> None:
         self.counts[bisect_left(self.bounds, value)] += 1
@@ -132,7 +189,7 @@ class Histogram:
         return self.vmax
 
     def to_dict(self) -> dict:
-        return {
+        out: dict = {
             "kind": self.kind,
             "count": self.count,
             "sum": self.total,
@@ -141,40 +198,74 @@ class Histogram:
             "bounds": list(self.bounds),
             "counts": list(self.counts),
         }
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
 
 
 Instrument = Union[Counter, Gauge, Histogram]
 
 
 class MetricsRegistry:
-    """Name -> instrument map with get-or-create semantics."""
+    """Series-key -> instrument map with get-or-create semantics.
+
+    Plain metrics are keyed by name; *labeled* metrics (the telemetry
+    sampler's per-node time-series use these) are keyed by
+    ``name{k="v",...}`` with sorted label keys, so one metric name can
+    carry many label combinations without losing greppability — the
+    name prefix stays a source-literal string.
+    """
 
     def __init__(self) -> None:
         self._instruments: Dict[str, Instrument] = {}
 
     # -- get-or-create -------------------------------------------------
-    def _get(self, name: str, cls: Type[Any], *args: Any) -> Instrument:
-        inst = self._instruments.get(name)
+    def _get(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, Any]],
+        cls: Type[Any],
+        *args: Any,
+    ) -> Instrument:
+        frozen = _freeze_labels(labels)
+        key = format_series_key(name, frozen)
+        inst = self._instruments.get(key)
         if inst is None:
             inst = cls(name, *args)
-            self._instruments[name] = inst
+            inst.labels = frozen
+            self._instruments[key] = inst
         elif not isinstance(inst, cls):
             raise TypeError(
-                f"metric {name!r} already registered as {inst.kind}, "
+                f"metric {key!r} already registered as {inst.kind}, "
                 f"requested {cls.kind}"
             )
         return inst
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, Any]] = None
+    ) -> Counter:
+        inst = self._get(name, labels, Counter)
+        assert isinstance(inst, Counter)
+        return inst
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+    def gauge(
+        self, name: str, labels: Optional[Mapping[str, Any]] = None
+    ) -> Gauge:
+        inst = self._get(name, labels, Gauge)
+        assert isinstance(inst, Gauge)
+        return inst
 
     def histogram(
-        self, name: str, bounds: Optional[Sequence[float]] = None
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        labels: Optional[Mapping[str, Any]] = None,
     ) -> Histogram:
-        return self._get(name, Histogram, bounds or DEFAULT_TIME_BUCKETS_MS)
+        inst = self._get(
+            name, labels, Histogram, bounds or DEFAULT_TIME_BUCKETS_MS
+        )
+        assert isinstance(inst, Histogram)
+        return inst
 
     # -- introspection -------------------------------------------------
     def __len__(self) -> int:
@@ -207,7 +298,8 @@ class MetricsRegistry:
         Used by ``repro stats`` to render a dump written by an earlier
         process. Existing same-named instruments are replaced.
         """
-        for name, payload in data.items():
+        for key, payload in data.items():
+            name, _ = parse_series_key(key)
             kind = payload.get("kind")
             if kind == "counter":
                 inst: Instrument = Counter(name)
@@ -223,8 +315,50 @@ class MetricsRegistry:
                 inst.vmin = payload["min"] if payload["min"] is not None else float("inf")
                 inst.vmax = payload["max"] if payload["max"] is not None else float("-inf")
             else:
-                raise ValueError(f"unknown instrument kind {kind!r} for {name!r}")
-            self._instruments[name] = inst
+                raise ValueError(f"unknown instrument kind {kind!r} for {key!r}")
+            inst.labels = _freeze_labels(payload.get("labels"))
+            self._instruments[format_series_key(name, inst.labels)] = inst
+
+    # -- merging (multi-process runs) ----------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s instruments into this registry, in place.
+
+        Combination rules (per series key): **counters add**, **gauges
+        take the last writer** (``other`` wins), **histogram buckets
+        sum** — which requires identical bounds; a bounds or kind
+        mismatch for the same key raises. Used by ``repro stats
+        --merge`` to combine per-worker snapshots of a multi-process
+        serving run. Returns ``self`` for chaining.
+        """
+        for key, theirs in other._instruments.items():
+            mine = self._instruments.get(key)
+            if mine is None:
+                clone_data = {key: theirs.to_dict()}
+                self.load_snapshot(clone_data)
+                continue
+            if mine.kind != theirs.kind:
+                raise TypeError(
+                    f"cannot merge {key!r}: {mine.kind} vs {theirs.kind}"
+                )
+            if isinstance(mine, Counter) and isinstance(theirs, Counter):
+                mine.value += theirs.value
+            elif isinstance(mine, Gauge) and isinstance(theirs, Gauge):
+                mine.value = theirs.value
+            elif isinstance(mine, Histogram) and isinstance(theirs, Histogram):
+                if mine.bounds != theirs.bounds:
+                    raise ValueError(
+                        f"cannot merge histogram {key!r}: bucket bounds "
+                        f"differ ({len(mine.bounds)} vs {len(theirs.bounds)} "
+                        "edges or unequal values)"
+                    )
+                mine.counts = [
+                    a + b for a, b in zip(mine.counts, theirs.counts)
+                ]
+                mine.count += theirs.count
+                mine.total += theirs.total
+                mine.vmin = min(mine.vmin, theirs.vmin)
+                mine.vmax = max(mine.vmax, theirs.vmax)
+        return self
 
     # -- rendering -----------------------------------------------------
     def render_table(self) -> str:

@@ -22,10 +22,11 @@ from __future__ import annotations
 import functools
 import json
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from types import TracebackType
-from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Union
 
 from repro.obs import runtime
 from repro.obs.registry import get_registry
@@ -77,21 +78,27 @@ class SpanRecord:
 
 
 class TraceBuffer:
-    """Bounded in-memory store of closed spans (oldest dropped first)."""
+    """Bounded ring buffer of closed spans (oldest dropped first).
+
+    Backed by a ``deque(maxlen=...)`` so eviction is O(1) — a long
+    serving run cycling millions of spans pays constant time and
+    constant memory, not the O(n) front-of-list delete a plain list
+    would. Evictions are counted in :attr:`dropped` so truncated
+    exports are visible rather than silently shorter.
+    """
 
     def __init__(self, max_spans: int = 100_000) -> None:
         if max_spans < 1:
             raise ValueError(f"max_spans must be >= 1, got {max_spans}")
         self.max_spans = int(max_spans)
-        self._records: List[SpanRecord] = []
-        #: closed spans evicted because the buffer was full.
+        self._records: Deque[SpanRecord] = deque(maxlen=self.max_spans)
+        #: closed spans evicted because the ring was full.
         self.dropped = 0
 
     def add(self, record: SpanRecord) -> None:
-        self._records.append(record)
-        if len(self._records) > self.max_spans:
-            del self._records[0]
+        if len(self._records) == self.max_spans:
             self.dropped += 1
+        self._records.append(record)
 
     def __len__(self) -> int:
         return len(self._records)

@@ -42,6 +42,12 @@ from repro.serve.queueing import (
     QueueTimeout,
     ShedError,
 )
+from repro.serve.report import (
+    build_report,
+    render_report,
+    render_timeline,
+    serve_report,
+)
 from repro.serve.request import (
     ServeRequest,
     ServeResponse,
@@ -49,6 +55,13 @@ from repro.serve.request import (
     StageTimings,
 )
 from repro.serve.runtime import ServeConfig, ServingRuntime
+from repro.serve.tracing import (
+    RequestTraceLog,
+    TraceContext,
+    TraceEvent,
+    load_request_trace,
+    semantic_timeline,
+)
 from repro.serve.workload import (
     ServeWorkload,
     make_workload,
@@ -62,6 +75,7 @@ __all__ = [
     "MicroBatcher",
     "QueueStats",
     "QueueTimeout",
+    "RequestTraceLog",
     "ServeConfig",
     "ServeRequest",
     "ServeResponse",
@@ -70,7 +84,15 @@ __all__ = [
     "ServingRuntime",
     "ShedError",
     "StageTimings",
+    "TraceContext",
+    "TraceEvent",
+    "build_report",
+    "load_request_trace",
     "make_workload",
     "poisson_arrivals",
+    "render_report",
+    "render_timeline",
+    "semantic_timeline",
+    "serve_report",
     "uniform_arrivals",
 ]

@@ -19,8 +19,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.serve.tracing import TraceContext
+
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
     from repro.hierarchy.inference import InferenceOutcome
+    from repro.obs.telemetry import FlightEvent, TelemetryLog
+    from repro.serve.tracing import RequestTraceLog
 
 __all__ = ["StageTimings", "ServeRequest", "ServeResponse", "ServeResult"]
 
@@ -72,6 +76,10 @@ class ServeRequest:
     #: the answer descends (and is charged) on the way back.
     charged_path: List[Tuple[int, int]] = field(default_factory=list)
     future: Optional["asyncio.Future[ServeResponse]"] = None
+    #: per-request trace (None when tracing is disabled). The context
+    #: travels with the request through queues and escalation bundles,
+    #: which is what propagates the request id and hop path end to end.
+    trace: Optional[TraceContext] = None
 
 
 @dataclass(frozen=True)
@@ -115,6 +123,9 @@ class ServeResult:
         queue_high_water: Dict[int, int],
         n_retries: int = 0,
         n_timeouts: int = 0,
+        flight_events: Optional[List["FlightEvent"]] = None,
+        telemetry: Optional["TelemetryLog"] = None,
+        traces: Optional["RequestTraceLog"] = None,
     ) -> None:
         self.responses = sorted(responses, key=lambda r: r.index)
         self.makespan_s = float(makespan_s)
@@ -134,6 +145,14 @@ class ServeResult:
         self.n_retries = int(n_retries)
         #: fault injection: loss-detection / per-hop timeouts that fired.
         self.n_timeouts = int(n_timeouts)
+        #: flight-recorder dump: fault events with causal request ids
+        #: (empty when the run saw no faults / sheds).
+        self.flight_events: List["FlightEvent"] = list(flight_events or [])
+        #: labeled time-series sampled during the run (None when
+        #: observability was disabled).
+        self.telemetry = telemetry
+        #: per-request trace-event log (None when tracing was disabled).
+        self.traces = traces
 
     # ------------------------------------------------------------------
     @property

@@ -45,7 +45,7 @@ import asyncio
 import logging
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -53,10 +53,12 @@ import repro.obs as obs
 from repro.core.compression import compressed_bundle_bytes
 from repro.hierarchy.inference import HierarchicalInference
 from repro.network.medium import Medium
+from repro.obs.telemetry import FlightRecorder, TelemetryLog, TelemetrySampler
 from repro.serve.batcher import MicroBatcher
 from repro.serve.faults import FaultPlan
 from repro.serve.queueing import POLICIES, BoundedQueue, QueueTimeout, ShedError
 from repro.serve.request import ServeRequest, ServeResponse, ServeResult
+from repro.serve.tracing import RequestTraceLog, TraceContext
 from repro.serve.workload import ServeWorkload, poisson_arrivals
 
 __all__ = ["ServeConfig", "ServingRuntime"]
@@ -88,6 +90,9 @@ class ServeConfig:
     #: nodes and to force overload in tests).
     service_time_base_s: float = 0.0
     service_time_per_query_s: float = 0.0
+    #: telemetry sampler tick (queue depth / in-flight / per-node fault
+    #: counters); only runs when observability is enabled.
+    telemetry_interval_ms: float = 25.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -106,6 +111,11 @@ class ServeConfig:
             )
         if self.service_time_base_s < 0 or self.service_time_per_query_s < 0:
             raise ValueError("service times must be >= 0")
+        if self.telemetry_interval_ms <= 0:
+            raise ValueError(
+                f"telemetry_interval_ms must be > 0, got "
+                f"{self.telemetry_interval_ms}"
+            )
 
 
 class _NodeServer:
@@ -121,6 +131,8 @@ class _NodeServer:
         self.batcher = MicroBatcher(
             self.queue, config.max_batch, config.max_wait_ms
         )
+        #: size of the most recent micro-batch (telemetry probe reads it).
+        self.last_batch = 0
 
     async def run(self) -> None:
         while True:
@@ -133,8 +145,17 @@ class _NodeServer:
         inf = rt.inference
         loop = asyncio.get_running_loop()
         now = loop.time()
+        now_ms = (now - rt._t0) * 1e3
+        self.last_batch = len(batch)
         for req in batch:
-            req.timings.queue_wait_ms += (now - req.enqueued_s) * 1e3
+            wait_ms = (now - req.enqueued_s) * 1e3
+            req.timings.queue_wait_ms += wait_ms
+            if req.trace is not None:
+                req.trace.visit(self.node_id)
+                req.trace.emit(
+                    "hop", now_ms, node=self.node_id,
+                    queue_wait_ms=wait_ms, batch=len(batch),
+                )
         cfg = rt.config
         service = (
             cfg.service_time_base_s
@@ -157,14 +178,21 @@ class _NodeServer:
         escalate: List[ServeRequest] = []
         for i, req in enumerate(batch):
             req.decided = (int(labels[i]), float(conf[i]), self.node_id, level)
-            if (
+            answers_here = (
                 conf[i] >= inf.confidence_threshold
                 or level == rt.cap
                 or self.node.parent is None
-            ):
+            )
+            if answers_here:
                 answer.append(req)
             else:
                 escalate.append(req)
+            if req.trace is not None:
+                req.trace.emit(
+                    "decide", rt._now_ms(), node=self.node_id, level=level,
+                    label=int(labels[i]), confidence=float(conf[i]),
+                    action="answer" if answers_here else "escalate",
+                )
         for req in answer:
             rt._answer(req)
         if escalate:
@@ -182,6 +210,11 @@ class _NodeServer:
         undecided = [req for req in batch if req.decided is None]
         for req in batch:
             if req.decided is not None:
+                if req.trace is not None:
+                    req.trace.emit(
+                        "decide", rt._now_ms(), node=self.node_id,
+                        level=self.node.level, action="answer_cached",
+                    )
                 rt._answer(req)
         if not undecided:
             return
@@ -193,6 +226,12 @@ class _NodeServer:
             req.decided = (
                 int(labels[i]), float(conf[i]), self.node_id, self.node.level
             )
+            if req.trace is not None:
+                req.trace.emit(
+                    "decide", rt._now_ms(), node=self.node_id,
+                    level=self.node.level, label=int(labels[i]),
+                    confidence=float(conf[i]), action="answer",
+                )
             rt._answer(req)
 
     # ------------------------------------------------------------------
@@ -215,8 +254,16 @@ class _NodeServer:
                     encoded[i] = plan.corrupt(
                         encoded[i], self.node_id, req.index
                     )
+                    if req.trace is not None:
+                        req.trace.emit(
+                            "corrupt", rt._now_ms(), node=self.node_id
+                        )
                     if obs.enabled():
                         obs.incr("serve.faults.corrupted")
+                        rt.flight.record(
+                            "corrupt", rt._elapsed(), node=self.node_id,
+                            request_id=req.index,
+                        )
         t1 = time.perf_counter()
         result = rt.federation.classifiers[self.node_id].predict(
             encoded, backend=rt.inference.backend
@@ -224,9 +271,18 @@ class _NodeServer:
         t2 = time.perf_counter()
         encode_ms = (t1 - t0) * 1e3
         search_ms = (t2 - t1) * 1e3
+        now_ms = rt._now_ms() if batch and batch[0].trace is not None else 0.0
         for req in batch:
             req.timings.encode_ms += encode_ms
             req.timings.search_ms += search_ms
+            if req.trace is not None:
+                req.trace.emit(
+                    "encode", now_ms, node=self.node_id,
+                    ms=encode_ms, batch=len(batch),
+                )
+                req.trace.emit(
+                    "search", now_ms, node=self.node_id, ms=search_ms
+                )
         rt.n_batches += 1
         if obs.enabled():
             obs.incr("serve.batches")
@@ -278,6 +334,12 @@ class _NodeServer:
         delay_ms = delay * 1e3
         for req in cohort:
             req.timings.escalation_rtt_ms += delay_ms
+            if req.trace is not None:
+                req.trace.emit(
+                    "transit", rt._now_ms(), node=self.node_id,
+                    edge=f"{self.node_id}->{parent}", ms=delay_ms,
+                    bytes=payload,
+                )
 
     async def _escalate(self, cohort: List[ServeRequest]) -> None:
         """Ship the cohort upward as compressed m-query bundles.
@@ -294,7 +356,15 @@ class _NodeServer:
         assert parent is not None, "root nodes never escalate"
         plan = rt.plan
         edge = (self.node_id, parent)
+        edge_tag = f"{self.node_id}->{parent}"
         if plan is None:
+            for req in cohort:
+                if req.trace is not None:
+                    req.trace.attempts += 1
+                    req.trace.emit(
+                        "escalate", rt._now_ms(), node=self.node_id,
+                        edge=edge_tag, attempt=1,
+                    )
             payload = self._bundle_payload(len(cohort), parent)
             await self._transmit(cohort, parent, payload)
             await rt._forward(cohort, parent, via_edge=edge, origin=self)
@@ -304,9 +374,17 @@ class _NodeServer:
         counted = False
         while pending:
             attempt += 1
+            for req in pending:
+                if req.trace is not None:
+                    req.trace.attempts += 1
+                    req.trace.emit(
+                        "escalate", rt._now_ms(), node=self.node_id,
+                        edge=edge_tag, attempt=attempt,
+                    )
             delivered: List[ServeRequest] = []
             dropped: List[ServeRequest] = []
-            if plan.crashed(parent, rt._elapsed()):
+            parent_dead = plan.crashed(parent, rt._elapsed())
+            if parent_dead:
                 # Dead parent: the whole attempt fails; nothing reaches
                 # the radio on the other side, so no bytes are charged.
                 dropped = pending
@@ -329,15 +407,46 @@ class _NodeServer:
                     )
             if not dropped:
                 return
+            drop_reason = "parent_crashed" if parent_dead else "message_lost"
+            for req in dropped:
+                if req.trace is not None:
+                    req.trace.emit(
+                        "drop", rt._now_ms(), node=self.node_id,
+                        edge=edge_tag, attempt=attempt, reason=drop_reason,
+                    )
+                if obs.enabled():
+                    rt.flight.record(
+                        "drop", rt._elapsed(), node=self.node_id,
+                        request_id=req.index, edge=edge_tag,
+                        attempt=attempt, reason=drop_reason,
+                    )
             # Loss detection: the sender waits out the ack timeout (and
             # the backoff when a retry is still allowed).
             rt.n_timeouts += 1
+            rt.timeouts_by_node[self.node_id] = (
+                rt.timeouts_by_node.get(self.node_id, 0) + 1
+            )
             if obs.enabled():
                 obs.incr("serve.timeouts")
+                rt.flight.record(
+                    "timeout", rt._elapsed(), node=self.node_id,
+                    edge=edge_tag, attempt=attempt, n=len(dropped),
+                )
             exhausted = attempt >= plan.max_attempts
             delay = plan.timeout_s + (
                 0.0 if exhausted else plan.backoff_s(attempt - 1)
             )
+            for req in dropped:
+                if req.trace is not None:
+                    req.trace.emit(
+                        "timeout", rt._now_ms(), node=self.node_id,
+                        edge=edge_tag, attempt=attempt,
+                    )
+                    if not exhausted and delay > 0:
+                        req.trace.emit(
+                            "backoff", rt._now_ms(), node=self.node_id,
+                            attempt=attempt, wait_ms=delay * 1e3,
+                        )
             if delay > 0:
                 await asyncio.sleep(delay)
                 delay_ms = delay * 1e3
@@ -346,11 +455,20 @@ class _NodeServer:
             if exhausted:
                 if obs.enabled():
                     obs.incr("serve.faults.exhausted", len(dropped))
-                rt._degrade_cohort(self, dropped)
+                rt._degrade_cohort(self, dropped, reason="retries_exhausted")
                 return
             rt.n_retries += len(dropped)
+            rt.retries_by_node[self.node_id] = (
+                rt.retries_by_node.get(self.node_id, 0) + len(dropped)
+            )
             if obs.enabled():
                 obs.incr("serve.retries", len(dropped))
+            for req in dropped:
+                if req.trace is not None:
+                    req.trace.emit(
+                        "retry", rt._now_ms(), node=self.node_id,
+                        edge=edge_tag, attempt=attempt + 1,
+                    )
             pending = dropped
 
 
@@ -426,6 +544,20 @@ class ServingRuntime:
         self.n_shed_escalation = 0
         self.n_retries = 0
         self.n_timeouts = 0
+        self.n_inflight = 0
+        #: per-node fault tallies the telemetry sampler exports as
+        #: labeled series (kept even when observability is disabled —
+        #: three dict bumps on fault paths cost nothing measurable).
+        self.retries_by_node: Dict[int, int] = {}
+        self.timeouts_by_node: Dict[int, int] = {}
+        self.degraded_by_node: Dict[int, int] = {}
+        #: fault events with causal request ids (recorded only while
+        #: observability is enabled).
+        self.flight = FlightRecorder()
+        #: finished requests flush their trace events here.
+        self.trace_log = RequestTraceLog()
+        #: time-series the sampler recorded (None when obs disabled).
+        self.telemetry: Optional[TelemetryLog] = None
         self._responses: List[ServeResponse] = []
         self._deliveries: set = set()
         self._t0 = 0.0
@@ -434,6 +566,11 @@ class ServingRuntime:
     def _elapsed(self) -> float:
         """Seconds since the serving run started (crash-window clock)."""
         return asyncio.get_running_loop().time() - self._t0
+
+    def _now_ms(self) -> float:
+        """Milliseconds since run start — the shared trace/telemetry
+        /flight-recorder clock."""
+        return self._elapsed() * 1e3
 
     def _edge_medium(self, source: int, destination: int) -> Medium:
         lower = min(
@@ -511,15 +648,29 @@ class ServingRuntime:
             asyncio.ensure_future(server.run())
             for server in self.nodes.values()
         ]
+        tracing = obs.enabled()
         requests = [
             ServeRequest(
                 index=i,
                 features=workload.features[i],
                 start_leaf=int(workload.start_leaves[i]),
                 future=loop.create_future(),
+                trace=TraceContext(i) if tracing else None,
             )
             for i in range(len(workload))
         ]
+        sampler: Optional[TelemetrySampler] = None
+        sampler_task: Optional["asyncio.Task[None]"] = None
+        if tracing:
+            self.telemetry = TelemetryLog()
+            sampler = TelemetrySampler(
+                self._telemetry_readings,
+                interval_s=self.config.telemetry_interval_ms / 1e3,
+                log=self.telemetry,
+                registry=obs.get_registry(),
+                clock=self._elapsed,
+            )
+            sampler_task = asyncio.ensure_future(sampler.run())
         with obs.span(
             "serve", n=len(requests), policy=self.config.policy,
             max_batch=self.config.max_batch,
@@ -537,6 +688,12 @@ class ServingRuntime:
                     await asyncio.gather(*clients)
                 await asyncio.gather(*(req.future for req in requests))
             finally:
+                if sampler_task is not None:
+                    sampler_task.cancel()
+                    await asyncio.gather(sampler_task, return_exceptions=True)
+                if sampler is not None:
+                    # Final tick so even sub-interval runs get a sample.
+                    sampler.sample_once()
                 for task in node_tasks:
                     task.cancel()
                 await asyncio.gather(*node_tasks, return_exceptions=True)
@@ -559,6 +716,9 @@ class ServingRuntime:
             },
             n_retries=self.n_retries,
             n_timeouts=self.n_timeouts,
+            flight_events=self.flight.events() if tracing else None,
+            telemetry=self.telemetry,
+            traces=self.trace_log if tracing else None,
         )
         # Offline-comparable message list (aggregated bundle math).
         result._offline_messages = self.inference.escalation_messages(
@@ -601,13 +761,25 @@ class ServingRuntime:
         loop = asyncio.get_running_loop()
         req.arrival_s = loop.time()
         req.enqueued_s = req.arrival_s
+        self.n_inflight += 1
         if obs.enabled():
             obs.incr("serve.requests")
+        if req.trace is not None:
+            req.trace.emit("admitted", self._now_ms(), node=req.start_leaf)
         if self.plan is not None and self.plan.crashed(
             req.start_leaf, self._elapsed()
         ):
+            if req.trace is not None:
+                req.trace.emit(
+                    "degraded", self._now_ms(), node=req.start_leaf,
+                    reason="crashed_admission",
+                )
             if obs.enabled():
                 obs.incr("serve.faults.crashed_admission")
+                self.flight.record(
+                    "crash_admission", self._elapsed(), node=req.start_leaf,
+                    request_id=req.index,
+                )
             self._finish(req, label=-1, confidence=0.0, node=-1, level=-1,
                          shed=False, degraded=True)
             return
@@ -615,8 +787,17 @@ class ServingRuntime:
             await self.nodes[req.start_leaf].queue.put(req)
         except ShedError:
             self.n_shed_admission += 1
+            if req.trace is not None:
+                req.trace.emit(
+                    "shed", self._now_ms(), node=req.start_leaf,
+                    reason="admission",
+                )
             if obs.enabled():
                 obs.incr("serve.shed.admission")
+                self.flight.record(
+                    "shed", self._elapsed(), node=req.start_leaf,
+                    request_id=req.index, reason="admission",
+                )
             self._finish(req, label=-1, confidence=0.0, node=-1, level=-1,
                          shed=True)
 
@@ -647,8 +828,17 @@ class ServingRuntime:
                 await queue.put(req, timeout_s=timeout_s)
             except ShedError:
                 self.n_shed_escalation += 1
+                if req.trace is not None:
+                    req.trace.emit(
+                        "shed", self._now_ms(), node=destination,
+                        reason="escalation",
+                    )
                 if obs.enabled():
                     obs.incr("serve.shed.escalation")
+                    self.flight.record(
+                        "shed", self._elapsed(), node=destination,
+                        request_id=req.index, reason="escalation",
+                    )
                 if req.decided is not None:
                     self._answer(req, shed=True)
                 else:
@@ -657,11 +847,34 @@ class ServingRuntime:
                 continue
             except QueueTimeout:
                 self.n_timeouts += 1
+                self.timeouts_by_node[destination] = (
+                    self.timeouts_by_node.get(destination, 0) + 1
+                )
+                if req.trace is not None:
+                    req.trace.emit(
+                        "timeout", self._now_ms(), node=destination,
+                        reason="hop_timeout",
+                    )
                 if obs.enabled():
                     obs.incr("serve.timeouts")
+                    self.flight.record(
+                        "timeout", self._elapsed(), node=destination,
+                        request_id=req.index, reason="hop_timeout",
+                    )
                 if origin is not None:
-                    self._degrade_cohort(origin, [req])
-                elif req.decided is not None:
+                    self._degrade_cohort(origin, [req], reason="hop_timeout")
+                    continue
+                if req.trace is not None:
+                    req.trace.emit(
+                        "degraded", self._now_ms(), node=destination,
+                        reason="hop_timeout",
+                    )
+                if obs.enabled():
+                    self.flight.record(
+                        "degraded", self._elapsed(), node=destination,
+                        request_id=req.index, reason="hop_timeout",
+                    )
+                if req.decided is not None:
                     self._answer(req, degraded=True)
                 else:
                     self._finish(req, label=-1, confidence=0.0, node=-1,
@@ -671,7 +884,10 @@ class ServingRuntime:
                 req.charged_path.append(via_edge)
 
     def _degrade_cohort(
-        self, server: _NodeServer, cohort: List[ServeRequest]
+        self,
+        server: _NodeServer,
+        cohort: List[ServeRequest],
+        reason: str = "retries_exhausted",
     ) -> None:
         """Answer ``cohort`` in degraded mode at ``server``'s node.
 
@@ -691,6 +907,16 @@ class ServingRuntime:
                     int(labels[i]), float(conf[i]), server.node_id, level
                 )
         for req in cohort:
+            if req.trace is not None:
+                req.trace.emit(
+                    "degraded", self._now_ms(), node=server.node_id,
+                    reason=reason,
+                )
+            if obs.enabled():
+                self.flight.record(
+                    "degraded", self._elapsed(), node=server.node_id,
+                    request_id=req.index, reason=reason,
+                )
             self._answer(req, degraded=True)
 
     # ------------------------------------------------------------------
@@ -712,6 +938,11 @@ class ServingRuntime:
             delay += medium.transfer_time(_PREDICTION_BYTES)
             self.energy_j += medium.transfer_energy(_PREDICTION_BYTES)
             self.wire_bytes += _PREDICTION_BYTES
+        if req.trace is not None and req.charged_path:
+            req.trace.emit(
+                "descend", self._now_ms(), node=node,
+                hops=len(req.charged_path), ms=delay * 1e3,
+            )
         if delay > 0:
             req.timings.escalation_rtt_ms += delay * 1e3
             task = asyncio.ensure_future(
@@ -751,6 +982,11 @@ class ServingRuntime:
         loop = asyncio.get_running_loop()
         now = loop.time()
         self._last_completion = max(self._last_completion, now)
+        self.n_inflight -= 1
+        if degraded:
+            self.degraded_by_node[node] = (
+                self.degraded_by_node.get(node, 0) + 1
+            )
         req.timings.total_ms = (now - req.arrival_s) * 1e3
         response = ServeResponse(
             index=req.index,
@@ -764,10 +1000,54 @@ class ServingRuntime:
             degraded=degraded,
         )
         self._responses.append(response)
+        if req.trace is not None:
+            t = req.timings
+            outcome = "shed" if shed else ("degraded" if degraded else "ok")
+            req.trace.emit(
+                "done", self._now_ms(), node=node,
+                outcome=outcome, label=label, level=level,
+                total_ms=t.total_ms,
+                queue_wait_ms=t.queue_wait_ms,
+                encode_ms=t.encode_ms,
+                search_ms=t.search_ms,
+                escalation_rtt_ms=t.escalation_rtt_ms,
+                hops=len(req.trace.hop_path),
+                attempts=req.trace.attempts,
+            )
+            self.trace_log.extend(req.trace.events)
         if obs.enabled():
             self._record_response(response)
         if req.future is not None and not req.future.done():
             req.future.set_result(response)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def _telemetry_readings(
+        self,
+    ) -> Iterable[Tuple[str, Mapping[str, object], float]]:
+        """One sampler tick's labeled readings (the sampler's probe)."""
+        readings: List[Tuple[str, Mapping[str, object], float]] = [
+            ("serve.telemetry.inflight", {}, float(self.n_inflight)),
+            ("serve.telemetry.batches", {}, float(self.n_batches)),
+        ]
+        for nid, server in self.nodes.items():
+            labels = {"node": nid}
+            readings.append(
+                ("serve.telemetry.queue_depth", labels, float(len(server.queue)))
+            )
+            readings.append(
+                ("serve.telemetry.batch_size", labels, float(server.last_batch))
+            )
+        counters: Tuple[Tuple[str, Dict[int, int]], ...] = (
+            ("serve.telemetry.retries", self.retries_by_node),
+            ("serve.telemetry.timeouts", self.timeouts_by_node),
+            ("serve.telemetry.degraded", self.degraded_by_node),
+        )
+        for name, by_node in counters:
+            for nid, count in by_node.items():
+                readings.append((name, {"node": nid}, float(count)))
+        return readings
 
     def _record_response(self, response: ServeResponse) -> None:
         t = response.timings

@@ -1,0 +1,248 @@
+"""Request-level tracing for the serving runtime.
+
+A :class:`TraceContext` rides on every
+:class:`~repro.serve.request.ServeRequest` when observability is
+enabled: it carries the request id, the hop path (node ids visited) and
+a cumulative transmission-attempt counter, and accumulates
+:class:`TraceEvent` records for every stage the request passes —
+admission, queue wait, batch formation, encode, associative search,
+escalation transit, retry/backoff, answer descent and degradation.
+Because the *same* request object travels through node inboxes and
+escalation bundles, propagation is by construction: every hop appends
+to the one context, and a single request's end-to-end causal timeline
+is reconstructable from its event list alone.
+
+Event kinds and the stage they witness:
+
+==================  ====================================================
+``admitted``        request entered its start leaf's inbox
+``hop``             micro-batch formed at a node (queue wait, batch size)
+``encode``          cohort encode at a node (batch wall time)
+``search``          associative search at a node (batch wall time)
+``decide``          a decision-capable node recorded (answer / escalate)
+``escalate``        uplink transmission attempt on a (child, parent) edge
+``transit``         uplink transfer completed (simulated wire time)
+``drop``            fault injection dropped this request's send
+``timeout``         ack / hop timeout fired for this request
+``backoff``         retry backoff wait before the next attempt
+``retry``           request retransmitted after a failed attempt
+``shed``            backpressure shed (admission or escalation)
+``corrupt``         fault injection damaged this request's payload
+``degraded``        answered in degraded mode (``reason`` attribute)
+``descend``         answer descent over the charged escalation path
+``done``            terminal response (outcome + stage timing totals)
+==================  ====================================================
+
+Timestamps are milliseconds since the serving run started, so a trace,
+the telemetry time-series and the flight recorder all share one clock.
+Event *sequences* are seed-deterministic under a
+:class:`~repro.serve.faults.FaultPlan` (fault decisions derive from
+structural tags); timestamps and batch sizes are not — comparisons must
+use :func:`semantic_timeline`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Deque, Dict, Iterator, List, Mapping, Optional, Union
+
+__all__ = [
+    "TraceEvent",
+    "TraceContext",
+    "RequestTraceLog",
+    "load_request_trace",
+    "semantic_timeline",
+]
+
+#: event kinds that are seed-deterministic (timing-independent): the
+#: causal skeleton two same-seed chaos runs must agree on.
+SEMANTIC_EVENTS = (
+    "admitted",
+    "escalate",
+    "drop",
+    "timeout",
+    "retry",
+    "shed",
+    "degraded",
+    "done",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step of one request's causal timeline."""
+
+    request_id: int
+    seq: int
+    t_ms: float
+    event: str
+    node: int = -1
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "request": self.request_id,
+            "seq": self.seq,
+            "t_ms": self.t_ms,
+            "event": self.event,
+            "node": self.node,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceEvent":
+        return cls(
+            request_id=int(data["request"]),
+            seq=int(data["seq"]),
+            t_ms=float(data["t_ms"]),
+            event=str(data["event"]),
+            node=int(data.get("node", -1)),
+            attrs=dict(data.get("attrs") or {}),
+        )
+
+
+class TraceContext:
+    """Per-request trace state carried on a ``ServeRequest``.
+
+    Mutable on purpose: the request object (and hence this context)
+    travels through queues and escalation bundles, so every hop appends
+    to one shared timeline.
+    """
+
+    __slots__ = ("request_id", "hop_path", "attempts", "events", "_seq")
+
+    def __init__(self, request_id: int) -> None:
+        self.request_id = int(request_id)
+        #: node ids visited, in order (the hop path).
+        self.hop_path: List[int] = []
+        #: cumulative uplink transmission attempts across all edges.
+        self.attempts = 0
+        self.events: List[TraceEvent] = []
+        self._seq = 0
+
+    def emit(
+        self, event: str, t_ms: float, node: int = -1, **attrs: Any
+    ) -> TraceEvent:
+        """Append one event to the timeline."""
+        record = TraceEvent(
+            request_id=self.request_id,
+            seq=self._seq,
+            t_ms=float(t_ms),
+            event=event,
+            node=int(node),
+            attrs=attrs,
+        )
+        self._seq += 1
+        self.events.append(record)
+        return record
+
+    def visit(self, node: int) -> None:
+        """Record a hop onto ``node`` (deduplicates immediate repeats)."""
+        if not self.hop_path or self.hop_path[-1] != node:
+            self.hop_path.append(int(node))
+
+
+class RequestTraceLog:
+    """Bounded ring of completed-request trace events.
+
+    Finished requests flush their whole event list here; ring semantics
+    (oldest events first) bound a long serving run, with evictions
+    counted in :attr:`dropped`.
+    """
+
+    def __init__(self, max_events: int = 500_000) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = int(max_events)
+        self._events: Deque[TraceEvent] = deque(maxlen=self.max_events)
+        #: events evicted because the ring was full.
+        self.dropped = 0
+        #: requests whose timelines were flushed into the log.
+        self.n_requests = 0
+
+    def extend(self, events: List[TraceEvent]) -> None:
+        for event in events:
+            if len(self._events) == self.max_events:
+                self.dropped += 1
+            self._events.append(event)
+        if events:
+            self.n_requests += 1
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def by_request(self) -> Dict[int, List[TraceEvent]]:
+        """Events grouped by request id, each list in seq order."""
+        grouped: Dict[int, List[TraceEvent]] = {}
+        for event in self._events:
+            grouped.setdefault(event.request_id, []).append(event)
+        for events in grouped.values():
+            events.sort(key=lambda e: e.seq)
+        return grouped
+
+    def export_jsonl(self, path: Union[str, Path]) -> int:
+        """One JSON object per event; returns events written."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w") as fh:
+            for event in self._events:
+                fh.write(json.dumps(event.to_dict()) + "\n")
+        return len(self._events)
+
+
+def load_request_trace(path: Union[str, Path]) -> Dict[int, List[TraceEvent]]:
+    """Read an exported trace back as ``{request_id: [events]}``.
+
+    Tolerates (and skips) non-event lines — e.g. span records from
+    :meth:`repro.obs.TraceBuffer.export_jsonl` sharing the file — so a
+    mixed trace file still yields every request timeline it contains.
+    """
+    grouped: Dict[int, List[TraceEvent]] = {}
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if not isinstance(data, dict) or "event" not in data:
+                continue
+            event = TraceEvent.from_dict(data)
+            grouped.setdefault(event.request_id, []).append(event)
+    for events in grouped.values():
+        events.sort(key=lambda e: e.seq)
+    return grouped
+
+
+def semantic_timeline(events: List[TraceEvent]) -> List[str]:
+    """Timing-free causal skeleton of one request's timeline.
+
+    Keeps only the seed-deterministic event kinds and renders each as
+    ``event@node`` (plus the edge for escalation attempts), dropping
+    timestamps, batch sizes and wall-time attributes — the form two
+    same-seed chaos runs must reproduce exactly.
+    """
+    out: List[str] = []
+    for event in sorted(events, key=lambda e: e.seq):
+        if event.event not in SEMANTIC_EVENTS:
+            continue
+        tag = f"{event.event}@{event.node}"
+        edge = event.attrs.get("edge")
+        if edge is not None:
+            tag += f":{edge}"
+        attempt = event.attrs.get("attempt")
+        if attempt is not None:
+            tag += f"#a{attempt}"
+        reason = event.attrs.get("reason")
+        if reason is not None:
+            tag += f"({reason})"
+        outcome = event.attrs.get("outcome")
+        if outcome is not None:
+            tag += f"={outcome}"
+        out.append(tag)
+    return out

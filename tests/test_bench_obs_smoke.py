@@ -1,0 +1,43 @@
+"""Tier-1 smoke for the observability overhead guard (its --smoke mode).
+
+Loads ``benchmarks/bench_obs_overhead.py`` and runs its scaled-down
+checks: instrumentation must stay under the 5% budget on the encode hot
+loop with observability disabled, and the per-request trace-guard cost
+on the serving hot path must stay under 5% of disabled-mode serving
+cost — the promise that leaving tracing compiled in never taxes a
+production-shaped run.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+_THRESHOLD = 0.05
+
+
+def _load_bench_module():
+    if str(BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(BENCH_DIR))
+    spec = importlib.util.spec_from_file_location(
+        "bench_obs_overhead_smoke", BENCH_DIR / "bench_obs_overhead.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_smoke_mode():
+    bench = _load_bench_module()
+    evidence = bench.run_smoke()
+    assert evidence["encode_overhead"] < _THRESHOLD
+    assert evidence["guard_overhead"] < _THRESHOLD
+    # enabled-mode tracing is reported, and must not multiply cost
+    assert evidence["enabled_overhead"] < 1.0
+
+
+def test_bench_smoke_cli_entrypoint(capsys):
+    bench = _load_bench_module()
+    bench.main(["--smoke"])
+    assert "obs overhead smoke OK" in capsys.readouterr().out

@@ -122,6 +122,71 @@ class TestObservability:
         code = main(["stats", "--input", str(tmp_path / "absent.json")])
         assert code == 2
 
+    def _dump(self, path, n):
+        """A one-counter + one-gauge stats dump worth ``n``."""
+        obs.enable()
+        obs.reset()
+        obs.incr("worker.requests", n, labels={"node": 0})
+        obs.gauge_set("worker.depth", n)
+        obs.dump_stats(path)
+        obs.reset()
+
+    def test_stats_merge_combines_dumps(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._dump(a, 3)
+        self._dump(b, 4)
+        code = main(["stats", "--merge", str(a), str(b), "--json"])
+        assert code == 0
+        import json
+
+        data = json.loads(capsys.readouterr().out)
+        assert data['worker.requests{node="0"}']["value"] == 7
+        # gauges: last dump on the command line wins
+        assert data["worker.depth"]["value"] == 4
+
+    def test_stats_merge_missing_file_exits_2(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        self._dump(a, 1)
+        code = main(["stats", "--merge", str(a), str(tmp_path / "no.json")])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_stats_merge_conflict_exits_2(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._dump(a, 1)
+        obs.enable()
+        obs.reset()
+        obs.incr("worker.depth")  # counter where a.json holds a gauge
+        obs.dump_stats(b)
+        obs.reset()
+        code = main(["stats", "--merge", str(a), str(b)])
+        assert code == 2
+        assert "error merging" in capsys.readouterr().err
+
+    def test_stats_openmetrics_format(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        self._dump(a, 5)
+        code = main(["stats", "--input", str(a), "--format", "openmetrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert 'worker_requests_total{node="0"} 5' in out
+        assert out.rstrip().endswith("# EOF")
+        assert obs.parse_openmetrics(out)
+
+    def test_stats_output_file(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        self._dump(a, 2)
+        target = tmp_path / "exposition.txt"
+        code = main(
+            [
+                "stats", "--input", str(a), "--format", "openmetrics",
+                "--output", str(target),
+            ]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        assert obs.parse_openmetrics(target.read_text())
+
 
 class TestServeBench:
     def test_parser_defaults(self):
@@ -178,6 +243,43 @@ class TestServeBench:
         assert "faults: drop 0.30" in out
         assert "crashed nodes [1]" in out
         assert "degraded" in out
+
+    def test_faults_trace_export_then_report(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """The acceptance path: traced chaos serve, then serve-report."""
+        monkeypatch.setenv("REPRO_OBS_STATS", str(tmp_path / "stats.json"))
+        obs.disable()
+        obs.reset()
+        trace = tmp_path / "t.jsonl"
+        exposition = tmp_path / "om.txt"
+        flight = tmp_path / "flight.jsonl"
+        telemetry = tmp_path / "telemetry.jsonl"
+        try:
+            code = main(
+                [
+                    "serve-bench", "--dataset", "APRI", "--dimension", "256",
+                    "--scale", "0.05", "--max-train", "500",
+                    "--max-test", "150", "--epochs", "2", "--rate", "2000",
+                    "--faults", "--fault-drop", "0.3", "--fault-crash", "1",
+                    "--fault-seed", "42", "--trace", str(trace),
+                    "--openmetrics", str(exposition),
+                    "--flight", str(flight), "--telemetry", str(telemetry),
+                ]
+            )
+        finally:
+            obs.disable()
+            obs.reset()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flight recorder" in out
+        assert trace.exists() and flight.exists() and telemetry.exists()
+        assert obs.parse_openmetrics(exposition.read_text())
+        assert main(["serve-report", str(trace), "--slo-ms", "50"]) == 0
+        report = capsys.readouterr().out
+        assert "serve-report:" in report
+        assert "critical-path attribution" in report
+        assert "timeline" in report
 
     def test_faults_parser_defaults(self):
         args = build_parser().parse_args(["serve-bench", "--faults"])
