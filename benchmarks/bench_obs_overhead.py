@@ -230,18 +230,21 @@ def run_smoke() -> dict:
     """
     obs.disable()
     encoder_overhead = min(measure_encode_overhead() for _ in range(3))
-    serving = measure_serving_overhead(n_serves=2, max_test=60)
+    servings = [
+        measure_serving_overhead(n_serves=2, max_test=60) for _ in range(3)
+    ]
+    guard_overhead = min(s["guard_overhead"] for s in servings)
+    enabled_overhead = min(s["enabled_overhead"] for s in servings)
     assert encoder_overhead < _THRESHOLD, (
         f"encode overhead {encoder_overhead * 100:.2f}% over budget"
     )
-    assert serving["guard_overhead"] < _THRESHOLD, (
-        f"trace-guard overhead {serving['guard_overhead'] * 100:.2f}% "
-        "over budget"
+    assert guard_overhead < _THRESHOLD, (
+        f"trace-guard overhead {guard_overhead * 100:.2f}% over budget"
     )
     return {
         "encode_overhead": encoder_overhead,
-        "guard_overhead": serving["guard_overhead"],
-        "enabled_overhead": serving["enabled_overhead"],
+        "guard_overhead": guard_overhead,
+        "enabled_overhead": enabled_overhead,
     }
 
 

@@ -27,16 +27,17 @@ from repro.hierarchy import (
     HierarchicalInference,
     build_tree,
 )
+from repro.core.search import SearchSpec
 from repro.network.medium import get_medium
 from repro.serve import ServeConfig, ServingRuntime, make_workload
 
 DATASET = "APRI"
 MEDIUM = "wifi-802.11ac"
 
-#: grid: micro-batch window (ms) x confidence threshold x backend.
+#: grid: micro-batch window (ms) x confidence threshold x search spec.
 WAIT_WINDOWS_MS = (0.5, 2.0, 8.0)
 THRESHOLDS = (0.6, 0.8, 0.95)
-BACKENDS = ("dense", "packed")
+SEARCH_SPECS = (SearchSpec(backend="dense"), SearchSpec(backend="packed"))
 MAX_BATCH = 32
 RATE_RPS = 1500.0
 
@@ -61,9 +62,11 @@ def train_federation(scale=None):
     return federation, data
 
 
-def run_cell(federation, data, wait_ms, threshold, backend):
+def run_cell(federation, data, wait_ms, threshold, search):
+    if isinstance(search, str):
+        search = SearchSpec(backend=search)
     inference = HierarchicalInference(
-        federation, confidence_threshold=threshold, backend=backend
+        federation, confidence_threshold=threshold, search=search
     )
     workload = make_workload(data.test_x, inference, seed=3, labels=data.test_y)
     runtime = ServingRuntime(
@@ -81,7 +84,8 @@ def run_cell(federation, data, wait_ms, threshold, backend):
     return {
         "max_wait_ms": wait_ms,
         "threshold": threshold,
-        "backend": backend,
+        "backend": search.backend,
+        "search": search.to_metadata(),
         "n_requests": result.n_total,
         "throughput_rps": result.throughput_rps,
         "latency_ms": result.percentiles(),
@@ -96,8 +100,8 @@ def run_cell(federation, data, wait_ms, threshold, backend):
 def run_grid(scale=None) -> dict:
     federation, data = train_federation(scale)
     cells = [
-        run_cell(federation, data, wait_ms, threshold, backend)
-        for backend in BACKENDS
+        run_cell(federation, data, wait_ms, threshold, search)
+        for search in SEARCH_SPECS
         for threshold in THRESHOLDS
         for wait_ms in WAIT_WINDOWS_MS
     ]

@@ -39,6 +39,7 @@ from repro.analysis.rules import (
     DEFAULT_RULES,
     RULE_INDEX,
     AsyncBlockingCallRule,
+    LegacyBackendStringRule,
     MutableDefaultRule,
     ObsLiteralNameRule,
     PackedDtypeRule,
@@ -73,6 +74,7 @@ __all__ = [
     "MutableDefaultRule",
     "SilentBroadExceptRule",
     "UnvalidatedArrayApiRule",
+    "LegacyBackendStringRule",
 ]
 
 

@@ -9,7 +9,10 @@ accuracy bench reproduces.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.model import EdgeHDModel
+from repro.core.search import SearchSpec
 from repro.utils.rng import SeedLike
 
 __all__ = ["LinearHDClassifier"]
@@ -20,7 +23,8 @@ class LinearHDClassifier(EdgeHDModel):
 
     Inherits the full :class:`~repro.core.predictor.Predictor` surface
     (``predict`` / ``predict_labels`` / ``predict_proba``) and the
-    dense/packed ``backend`` switch from :class:`EdgeHDModel`.
+    :class:`~repro.core.search.SearchSpec` switch from
+    :class:`EdgeHDModel`.
     """
 
     def __init__(
@@ -29,7 +33,8 @@ class LinearHDClassifier(EdgeHDModel):
         n_classes: int,
         dimension: int = 4000,
         seed: SeedLike = None,
-        backend: str = "dense",
+        backend: Optional[str] = None,
+        search: Optional[SearchSpec] = None,
     ) -> None:
         super().__init__(
             n_features=n_features,
@@ -38,4 +43,5 @@ class LinearHDClassifier(EdgeHDModel):
             encoder="linear",
             seed=seed,
             backend=backend,
+            search=search,
         )

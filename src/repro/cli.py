@@ -74,6 +74,7 @@ from typing import Callable, Dict, Optional, Sequence
 import repro.obs as obs
 from repro.config import EdgeHDConfig
 from repro.core.model import EdgeHDModel
+from repro.core.search import PRUNE_MODES, BACKENDS, SearchSpec, set_default_search
 from repro.data import DATASETS, dataset_names, load_dataset, partition_features
 from repro.hierarchy import (
     EdgeHDFederation,
@@ -103,6 +104,54 @@ def _configure_logging(verbosity: int) -> None:
         root.addHandler(handler)
 
 
+def _add_search_args(p: argparse.ArgumentParser) -> None:
+    """The unified associative-search flags (train/reproduce/serve-bench)."""
+    p.add_argument(
+        "--search-backend", default=None, choices=BACKENDS,
+        help="associative-search backend (default: dense, or packed "
+             "when --search-prune is set)",
+    )
+    p.add_argument(
+        "--search-prune", default=None, choices=PRUNE_MODES,
+        help="prefix pruning mode of the packed kernel (default: off)",
+    )
+    p.add_argument(
+        "--search-prefix", type=float, default=None, metavar="FRACTION",
+        help="fraction of packed words scored in the prefix pass "
+             "(default: 0.125)",
+    )
+    p.add_argument(
+        "--search-margin", type=float, default=None, metavar="MARGIN",
+        help="prefix similarity margin for the approximate early accept "
+             "(default: 0.05)",
+    )
+
+
+def _search_spec_from_args(args: argparse.Namespace) -> Optional[SearchSpec]:
+    """Build a SearchSpec from --search-* flags; None when none given."""
+    backend = args.search_backend
+    prune = args.search_prune
+    prefix = args.search_prefix
+    margin = args.search_margin
+    if backend is None and prune is None and prefix is None and margin is None:
+        return None
+    if backend is None:
+        # Pruning only exists on the packed path, so asking for it
+        # implies the backend.
+        backend = "packed" if prune not in (None, "off") else "dense"
+    defaults = SearchSpec()
+    return SearchSpec(
+        backend=backend,
+        prune=prune if prune is not None else defaults.prune,
+        prefix_fraction=(
+            prefix if prefix is not None else defaults.prefix_fraction
+        ),
+        margin_threshold=(
+            margin if margin is not None else defaults.margin_threshold
+        ),
+    )
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     print(f"{'name':<8} {'features':>8} {'classes':>7} {'end nodes':>9} "
           f"{'train':>8} {'test':>8}  description")
@@ -122,10 +171,15 @@ def _cmd_train(args: argparse.Namespace) -> int:
         args.dataset, scale=args.scale,
         max_train=args.max_train, max_test=args.max_test, seed=args.seed,
     )
+    try:
+        search = _search_spec_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     model = EdgeHDModel(
         data.n_features, data.n_classes,
         dimension=args.dimension, encoder=args.encoder,
-        sparsity=args.sparsity, seed=args.seed,
+        sparsity=args.sparsity, seed=args.seed, search=search,
     )
     report = model.fit(
         data.train_x, data.train_y, retrain_epochs=args.epochs
@@ -134,7 +188,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(
         f"{args.dataset}: initial {report.initial_accuracy:.3f} -> "
         f"trained {report.final_accuracy:.3f} (train), "
-        f"test accuracy {accuracy:.3f}"
+        f"test accuracy {accuracy:.3f} "
+        f"[search: {model.search.describe()}]"
     )
     if args.save:
         model.save_model(args.save)
@@ -238,11 +293,17 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.network.medium import get_medium
     from repro.serve import ServeConfig, ServingRuntime, make_workload
 
-    inference = HierarchicalInference(
-        federation,
-        confidence_threshold=args.threshold,
-        backend=args.backend,
-    )
+    try:
+        search = _search_spec_from_args(args)
+        inference = HierarchicalInference(
+            federation,
+            confidence_threshold=args.threshold,
+            backend=args.backend,
+            search=search,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     workload = make_workload(
         data.test_x, inference, seed=args.seed, labels=data.test_y
     )
@@ -272,7 +333,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     print(
         f"{args.dataset} over {args.topology.upper()} "
-        f"({len(hierarchy.nodes)} nodes), {args.backend} backend, "
+        f"({len(hierarchy.nodes)} nodes), "
+        f"search {inference.search.describe()}, "
         f"threshold {args.threshold}, medium {args.medium}"
     )
     if fault_plan is not None:
@@ -367,6 +429,11 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         dimension=1024, retrain_epochs=5, batch_size=10,
     )
     scale = quick if args.quick else STANDARD
+    try:
+        search = _search_spec_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     registry: Dict[str, Callable[[], str]] = {
         "fig7": lambda: format_figure7(run_figure7(scale=scale)),
         "table2": lambda: format_table2(run_table2(scale=scale)),
@@ -378,9 +445,18 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         "fig13": lambda: format_figure13(run_figure13(scale=scale)),
     }
     targets = registry if args.figure == "all" else {args.figure: registry[args.figure]}
-    for name, runner in targets.items():
-        print(f"\n=== {name} ===")
-        print(runner())
+    # Experiment runners build their own models; the process-default
+    # spec is the hook that applies --search-* to all of them.
+    previous = set_default_search(search) if search is not None else None
+    try:
+        if search is not None:
+            print(f"search: {search.describe()}")
+        for name, runner in targets.items():
+            print(f"\n=== {name} ===")
+            print(runner())
+    finally:
+        if previous is not None:
+            set_default_search(previous)
     return 0
 
 
@@ -530,6 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser("train", help="train a centralized EdgeHD model")
     add_data_args(train)
+    _add_search_args(train)
     train.add_argument(
         "--encoder", default="rbf",
         choices=("rbf", "cos-sin", "linear", "id-level"),
@@ -565,8 +642,10 @@ def build_parser() -> argparse.ArgumentParser:
                  "wifi-802.11n", "bluetooth-4.0"),
     )
     serve_bench.add_argument(
-        "--backend", default="dense", choices=("dense", "packed")
+        "--backend", default=None, choices=BACKENDS,
+        help="deprecated alias for --search-backend",
     )
+    _add_search_args(serve_bench)
     serve_bench.add_argument(
         "--threshold", type=float, default=0.8,
         help="escalation confidence threshold",
@@ -658,6 +737,7 @@ def build_parser() -> argparse.ArgumentParser:
                  "fig11", "fig12", "fig13"),
     )
     reproduce.add_argument("--quick", action="store_true")
+    _add_search_args(reproduce)
     reproduce.add_argument(
         "--trace", default=None, metavar="PATH",
         help="enable observability and write the span trace (JSONL)",

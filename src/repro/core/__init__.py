@@ -14,18 +14,31 @@ from repro.core.classifier import (
 )
 from repro.core.kernels import (
     PackedBits,
+    PackedSearchResult,
+    SearchStats,
+    calibrate_margin_threshold,
     pack_bits,
     packed_dot,
     packed_hamming,
+    packed_search,
     packed_similarities,
     popcount_u64,
+    prefix_word_count,
     unpack_bits,
     words_per_row,
 )
 from repro.core.predictor import (
     Predictor,
+    SearchAwarePredictor,
     result_from_proba,
     result_from_scores,
+)
+from repro.core.search import (
+    PRUNE_MODES,
+    SearchSpec,
+    get_default_search,
+    resolve_search,
+    set_default_search,
 )
 from repro.core.compression import (
     CompressedBatch,
@@ -80,6 +93,17 @@ from repro.core.projection import TernaryProjection, concatenate_hypervectors
 __all__ = [
     "AdaptiveOnlineUpdater",
     "BACKENDS",
+    "PRUNE_MODES",
+    "SearchSpec",
+    "SearchStats",
+    "SearchAwarePredictor",
+    "PackedSearchResult",
+    "calibrate_margin_threshold",
+    "get_default_search",
+    "resolve_search",
+    "set_default_search",
+    "packed_search",
+    "prefix_word_count",
     "PackedBits",
     "pack_bits",
     "packed_dot",

@@ -27,18 +27,27 @@ import numpy as np
 
 import repro.obs as obs
 from repro.core.hypervector import cosine_many, normalize_rows
-from repro.core.kernels import PackedBits, pack_bits, packed_similarities
+from repro.core.kernels import (
+    PackedBits,
+    SearchStats,
+    calibrate_margin_threshold,
+    pack_bits,
+    packed_search,
+    packed_similarities,
+)
+from repro.core.search import BACKENDS, SearchSpec, resolve_search
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_fitted, check_labels, check_matrix
 
-__all__ = ["HDClassifier", "softmax_confidence", "PredictionResult", "BACKENDS"]
+__all__ = [
+    "HDClassifier",
+    "softmax_confidence",
+    "PredictionResult",
+    "BACKENDS",
+    "SearchSpec",
+]
 
 logger = logging.getLogger(__name__)
-
-#: Supported associative-search backends: ``"dense"`` is the float
-#: cosine path; ``"packed"`` is the XOR+popcount kernel of
-#: :mod:`repro.core.kernels`.
-BACKENDS = ("dense", "packed")
 
 _legacy_result_warned: set[str] = set()
 
@@ -54,14 +63,6 @@ def _warn_legacy_result(behavior: str) -> None:
             DeprecationWarning,
             stacklevel=3,
         )
-
-
-def _check_backend(backend: str) -> str:
-    if backend not in BACKENDS:
-        raise ValueError(
-            f"backend must be one of {BACKENDS}, got {backend!r}"
-        )
-    return backend
 
 
 def softmax_confidence(similarities: np.ndarray, temperature: float = 1.0) -> np.ndarray:
@@ -154,17 +155,23 @@ class HDClassifier:
         Hypervector dimensionality ``D`` of this node.
     confidence_temperature:
         Softmax temperature; smaller values sharpen confidence.
+    search:
+        Default :class:`~repro.core.search.SearchSpec` for every
+        inference entry point (all of which also take a per-call
+        ``search=`` override). ``backend="dense"`` is the float cosine
+        path; ``backend="packed"`` XOR+popcounts bit-packed
+        hypervectors (:mod:`repro.core.kernels`), optionally with
+        prefix pruning (``prune="exact"|"approx"``). On a binarized
+        model with bipolar queries the two backends compute the same
+        cosine similarities and agree on the argmax whenever the top
+        class is unique (the packed path is exact integer arithmetic;
+        the dense float path can break *exact* similarity ties
+        differently); on real-valued models the packed path is the
+        SHEARer-style sign-quantized approximation. Unset, the process
+        default (:func:`repro.core.search.get_default_search`) applies.
     backend:
-        Default associative-search backend, ``"dense"`` (float cosine)
-        or ``"packed"`` (XOR+popcount over bit-packed hypervectors,
-        :mod:`repro.core.kernels`). Every inference entry point also
-        takes a per-call ``backend=`` override. On a binarized model
-        with bipolar queries the two backends compute the same cosine
-        similarities and agree on the argmax whenever the top class is
-        unique (the packed path is exact integer arithmetic; the dense
-        float path can break *exact* similarity ties differently); on
-        real-valued models the packed path is the SHEARer-style
-        sign-quantized approximation.
+        Deprecated string form of ``search`` (warns once; see
+        :data:`repro.core.search.BACKEND_DEPRECATION`).
     """
 
     def __init__(
@@ -172,7 +179,8 @@ class HDClassifier:
         n_classes: int,
         dimension: int,
         confidence_temperature: Optional[float] = None,
-        backend: str = "dense",
+        backend: Optional[str] = None,
+        search: Optional[SearchSpec] = None,
     ) -> None:
         if n_classes < 2:
             raise ValueError(f"n_classes must be >= 2, got {n_classes}")
@@ -188,12 +196,28 @@ class HDClassifier:
         self.n_classes = int(n_classes)
         self.dimension = int(dimension)
         self.confidence_temperature = float(confidence_temperature)
-        self.backend = _check_backend(backend)
+        self.search = resolve_search(search, backend, owner="HDClassifier")
         self.class_hypervectors: Optional[np.ndarray] = None
+        #: per-stage stats of the most recent pruned search (None until
+        #: a prune-enabled packed search has run).
+        self.last_search_stats: Optional[SearchStats] = None
         self._normalized: Optional[np.ndarray] = None
         #: lazily-built bit-packed sign model, invalidated on every
         #: model update alongside the pre-normalized dense model.
         self._packed_model: Optional[PackedBits] = None
+
+    @property
+    def backend(self) -> str:
+        """Backend field of :attr:`search` (legacy accessor)."""
+        return self.search.backend
+
+    @backend.setter
+    def backend(self, value: str) -> None:
+        # Kept assignable for pre-SearchSpec code; pruning knobs carry
+        # over whenever they stay expressible.
+        self.search = resolve_search(
+            None, value, default=self.search, owner="HDClassifier.backend"
+        )
 
     # ------------------------------------------------------------------
     # training
@@ -325,7 +349,10 @@ class HDClassifier:
     # inference
     # ------------------------------------------------------------------
     def similarities(
-        self, encoded: np.ndarray, backend: Optional[str] = None
+        self,
+        encoded: np.ndarray,
+        backend: Optional[str] = None,
+        search: Optional[SearchSpec] = None,
     ) -> np.ndarray:
         """Similarity of each query row to each class hypervector.
 
@@ -333,11 +360,20 @@ class HDClassifier:
         pre-normalized model. The packed backend sign-quantizes queries
         and model (bit = element > 0), XORs the uint64 bitplanes and
         popcounts, returning ``dot / D`` — equal to the cosine when
-        both sides are bipolar, and ~64x less data movement.
+        both sides are bipolar, and ~64x less data movement. With
+        ``search.prune`` enabled the packed path runs the prefix-pruned
+        branch and bound (:func:`repro.core.kernels.packed_search`);
+        skipped entries carry proxy similarities that preserve the
+        argmax and only deflate (never inflate) the winner's
+        confidence. Per-stage timings land in
+        :attr:`last_search_stats`.
         """
         check_fitted(self, "class_hypervectors")
-        backend = _check_backend(backend or self.backend)
-        if backend == "packed":
+        spec = resolve_search(
+            search, backend, default=self.search,
+            owner="HDClassifier.similarities",
+        )
+        if spec.backend == "packed":
             enc = np.asarray(encoded)
             if enc.ndim == 1:
                 enc = enc.reshape(1, -1)
@@ -351,7 +387,22 @@ class HDClassifier:
             obs.incr("core.similarity.packed_queries", enc.shape[0])
             if self._packed_model is None:
                 self._packed_model = pack_bits(self.class_hypervectors)
-            return packed_similarities(pack_bits(enc), self._packed_model)
+            queries = pack_bits(enc)
+            if spec.is_pruned:
+                result = packed_search(
+                    queries,
+                    self._packed_model,
+                    prune=spec.prune,
+                    prefix_fraction=spec.prefix_fraction,
+                    margin_threshold=spec.margin_threshold,
+                )
+                self.last_search_stats = result.stats
+                obs.incr("core.similarity.pruned_queries", enc.shape[0])
+                obs.incr(
+                    "core.similarity.pruned_pairs", result.stats.n_pruned
+                )
+                return result.similarities
+            return packed_similarities(queries, self._packed_model)
         enc = check_matrix("encoded", encoded, cols=self.dimension)
         obs.incr("core.similarity.calls")
         obs.incr("core.similarity.queries", enc.shape[0])
@@ -361,40 +412,89 @@ class HDClassifier:
         return (enc / qn) @ self._normalized.T
 
     def predict(
-        self, encoded: np.ndarray, backend: Optional[str] = None
+        self,
+        encoded: np.ndarray,
+        backend: Optional[str] = None,
+        search: Optional[SearchSpec] = None,
     ) -> PredictionResult:
         """Associative search + confidence for a batch of queries."""
-        sims = self.similarities(encoded, backend=backend)
+        sims = self.similarities(encoded, backend=backend, search=search)
         labels = np.argmax(sims, axis=1)
         conf = softmax_confidence(sims, temperature=self.confidence_temperature)
         return PredictionResult(labels=labels, similarities=sims, confidences=conf)
 
     def predict_labels(
-        self, encoded: np.ndarray, backend: Optional[str] = None
+        self,
+        encoded: np.ndarray,
+        backend: Optional[str] = None,
+        search: Optional[SearchSpec] = None,
     ) -> np.ndarray:
         """Convenience: just the argmax labels."""
-        return self.predict(encoded, backend=backend).labels
+        return self.predict(encoded, backend=backend, search=search).labels
 
     def predict_proba(
-        self, encoded: np.ndarray, backend: Optional[str] = None
+        self,
+        encoded: np.ndarray,
+        backend: Optional[str] = None,
+        search: Optional[SearchSpec] = None,
     ) -> np.ndarray:
         """Per-class confidence matrix (softmax over similarities)."""
-        return self.predict(encoded, backend=backend).confidences
+        return self.predict(encoded, backend=backend, search=search).confidences
 
     def accuracy(
         self,
         encoded: np.ndarray,
         labels: np.ndarray,
         backend: Optional[str] = None,
+        search: Optional[SearchSpec] = None,
     ) -> float:
         """Fraction of queries classified correctly."""
         y = check_labels("labels", labels, n_classes=self.n_classes)
-        pred = self.predict_labels(encoded, backend=backend)
+        pred = self.predict_labels(encoded, backend=backend, search=search)
         if pred.shape[0] != y.shape[0]:
             raise ValueError(f"{pred.shape[0]} samples but {y.shape[0]} labels")
         if y.size == 0:
             raise ValueError("empty evaluation set")
         return float(np.mean(pred == y))
+
+    def calibrate_search(
+        self,
+        encoded: np.ndarray,
+        target_agreement: float = 0.995,
+        prefix_fraction: Optional[float] = None,
+    ) -> SearchSpec:
+        """Calibrate an approximate-search spec on held-out queries.
+
+        Finds the smallest margin threshold at which the prefix argmax
+        agrees with the exact packed argmax at least
+        ``target_agreement`` of the time on ``encoded`` (the paper's
+        confidence-gated escalation, applied within this node's
+        search), installs the resulting
+        ``SearchSpec(backend="packed", prune="approx", ...)`` as this
+        classifier's default, and returns it.
+        """
+        check_fitted(self, "class_hypervectors")
+        enc = check_matrix("encoded", encoded, cols=self.dimension)
+        fraction = (
+            self.search.prefix_fraction
+            if prefix_fraction is None
+            else float(prefix_fraction)
+        )
+        if self._packed_model is None:
+            self._packed_model = pack_bits(self.class_hypervectors)
+        threshold = calibrate_margin_threshold(
+            pack_bits(enc),
+            self._packed_model,
+            prefix_fraction=fraction,
+            target_agreement=target_agreement,
+        )
+        self.search = SearchSpec(
+            backend="packed",
+            prune="approx",
+            prefix_fraction=fraction,
+            margin_threshold=threshold,
+        )
+        return self.search
 
     def binarize_model(self) -> "HDClassifier":
         """Snap class hypervectors to {-1, +1} in place.
@@ -417,7 +517,7 @@ class HDClassifier:
         """Deep copy (used when forking node models in the hierarchy)."""
         clone = HDClassifier(
             self.n_classes, self.dimension, self.confidence_temperature,
-            backend=self.backend,
+            search=self.search,
         )
         if self.class_hypervectors is not None:
             clone.class_hypervectors = self.class_hypervectors.copy()

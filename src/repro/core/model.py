@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.classifier import HDClassifier, PredictionResult
 from repro.core.encoding import Encoder, make_encoder
+from repro.core.search import SearchSpec
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_labels, check_matrix
 
@@ -95,7 +96,8 @@ class EdgeHDModel:
         sparsity: float = 0.0,
         binarize: bool = True,
         seed: SeedLike = None,
-        backend: str = "dense",
+        backend: Optional[str] = None,
+        search: Optional[SearchSpec] = None,
     ) -> None:
         if isinstance(encoder, Encoder):
             if encoder.n_features != n_features or encoder.dimension != dimension:
@@ -108,7 +110,9 @@ class EdgeHDModel:
                 encoder, n_features, dimension,
                 sparsity=sparsity, binarize=binarize, seed=seed,
             )
-        self.classifier = HDClassifier(n_classes, dimension, backend=backend)
+        self.classifier = HDClassifier(
+            n_classes, dimension, backend=backend, search=search
+        )
         self.n_features = int(n_features)
         self.n_classes = int(n_classes)
         self.dimension = int(dimension)
@@ -141,40 +145,69 @@ class EdgeHDModel:
         return self.encoder.encode(features)
 
     def predict(
-        self, features: np.ndarray, backend: Optional[str] = None
+        self,
+        features: np.ndarray,
+        backend: Optional[str] = None,
+        search: Optional[SearchSpec] = None,
     ) -> PredictionResult:
         """End-to-end inference from raw features.
 
-        ``backend`` selects the associative-search kernel per call
-        (``"dense"`` float cosine or ``"packed"`` XOR+popcount); by
-        default the classifier's configured backend applies. See
+        ``search`` selects the associative-search configuration per
+        call (:class:`repro.core.search.SearchSpec`: dense cosine,
+        packed XOR+popcount, or prefix-pruned packed search); by
+        default the classifier's configured spec applies. See
         :class:`repro.core.classifier.HDClassifier` for the
-        dense/packed equivalence guarantee.
+        dense/packed equivalence guarantee. ``backend`` is the
+        deprecated string form.
         """
-        return self.classifier.predict(self.encode(features), backend=backend)
+        return self.classifier.predict(
+            self.encode(features), backend=backend, search=search
+        )
 
     def predict_labels(
-        self, features: np.ndarray, backend: Optional[str] = None
+        self,
+        features: np.ndarray,
+        backend: Optional[str] = None,
+        search: Optional[SearchSpec] = None,
     ) -> np.ndarray:
-        return self.predict(features, backend=backend).labels
+        return self.predict(features, backend=backend, search=search).labels
 
     def predict_proba(
-        self, features: np.ndarray, backend: Optional[str] = None
+        self,
+        features: np.ndarray,
+        backend: Optional[str] = None,
+        search: Optional[SearchSpec] = None,
     ) -> np.ndarray:
         """Per-class confidence matrix for raw feature rows."""
-        return self.predict(features, backend=backend).confidences
+        return self.predict(
+            features, backend=backend, search=search
+        ).confidences
 
     def accuracy(
         self,
         features: np.ndarray,
         labels: np.ndarray,
         backend: Optional[str] = None,
+        search: Optional[SearchSpec] = None,
     ) -> float:
         return self.classifier.accuracy(
-            self.encode(features), labels, backend=backend
+            self.encode(features), labels, backend=backend, search=search
         )
 
     # ------------------------------------------------------------------
+    @property
+    def search(self) -> SearchSpec:
+        """The classifier's default :class:`SearchSpec`."""
+        return self.classifier.search
+
+    @search.setter
+    def search(self, spec: SearchSpec) -> None:
+        if not isinstance(spec, SearchSpec):
+            raise TypeError(
+                f"search must be a SearchSpec, got {type(spec).__name__}"
+            )
+        self.classifier.search = spec
+
     @property
     def class_hypervectors(self) -> np.ndarray:
         if self.classifier.class_hypervectors is None:

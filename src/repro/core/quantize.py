@@ -79,6 +79,7 @@ def quantize_classifier(
     clone = HDClassifier(
         classifier.n_classes, classifier.dimension,
         confidence_temperature=classifier.confidence_temperature,
+        search=classifier.search,
     )
     clone.set_model(dequantize_model(quantized))
     return clone, quantized

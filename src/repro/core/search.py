@@ -1,0 +1,225 @@
+"""Unified associative-search configuration: :class:`SearchSpec`.
+
+Historically every inference entry point — ``HDClassifier``,
+``EdgeHDModel``, ``HierarchicalInference``, the serving runtime and
+the CLIs — took a bare ``backend="dense"|"packed"`` string. That
+surface cannot express the prefix-pruned search knobs introduced with
+the branch-and-bound kernel (:func:`repro.core.kernels.packed_search`),
+so the whole configuration now travels as one frozen dataclass:
+
+* ``backend`` — ``"dense"`` (float cosine) or ``"packed"``
+  (XOR+popcount over uint64 bitplanes);
+* ``prune`` — ``"off"`` (full search), ``"exact"`` (prefix +
+  remaining-word bound + survivor refinement; argmax bit-identical to
+  the full packed search) or ``"approx"`` (accept the prefix argmax
+  when its similarity margin clears ``margin_threshold``, falling back
+  to the exact branch-and-bound below it);
+* ``prefix_fraction`` — fraction of the packed words scored in the
+  prefix pass (SHEARer-style multifold approximation);
+* ``margin_threshold`` — prefix top-1/top-2 similarity margin above
+  which the approximate mode trusts the prefix argmax. Calibrate it
+  with :meth:`repro.core.classifier.HDClassifier.calibrate_search`.
+
+Resolution order everywhere is *per-call > per-object > process
+default* (:func:`get_default_search` / :func:`set_default_search`, the
+hook the ``repro reproduce`` CLI uses to apply ``--search-*`` flags to
+experiment code it does not construct itself).
+
+The old ``backend=`` string keyword keeps working through
+:func:`resolve_search` — a warn-once deprecation shim whose warning
+text is pinned by ``tests/test_search_spec.py``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional, Set, Union
+
+__all__ = [
+    "BACKENDS",
+    "PRUNE_MODES",
+    "SearchSpec",
+    "BACKEND_DEPRECATION",
+    "resolve_search",
+    "get_default_search",
+    "set_default_search",
+    "reset_backend_warnings",
+]
+
+#: Supported associative-search backends: ``"dense"`` is the float
+#: cosine path; ``"packed"`` is the XOR+popcount kernel of
+#: :mod:`repro.core.kernels`.
+BACKENDS = ("dense", "packed")
+
+#: Prefix-pruning modes of the packed kernel (``"off"`` everywhere else).
+PRUNE_MODES = ("off", "exact", "approx")
+
+#: Pinned deprecation text for the legacy ``backend=`` string keyword.
+#: ``tests/test_search_spec.py`` asserts this exact wording so the shim
+#: cannot silently drift or disappear.
+BACKEND_DEPRECATION = (
+    "passing backend=... as a bare string is deprecated; pass "
+    "search=SearchSpec(backend=...) instead (repro.core.search)"
+)
+
+_backend_warned: Set[str] = set()
+
+
+@dataclass(frozen=True)
+class SearchSpec:
+    """Frozen bundle of every associative-search tunable.
+
+    The default spec (dense backend, pruning off) reproduces the
+    pre-``SearchSpec`` behaviour bit for bit.
+    """
+
+    backend: str = "dense"
+    prune: str = "off"
+    #: fraction of the packed uint64 words scored in the prefix pass
+    #: (1/8 of D by default, the SHEARer multifold sweet spot).
+    prefix_fraction: float = 0.125
+    #: prefix similarity margin gating the approximate early accept.
+    margin_threshold: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.prune not in PRUNE_MODES:
+            raise ValueError(
+                f"prune must be one of {PRUNE_MODES}, got {self.prune!r}"
+            )
+        if self.prune != "off" and self.backend != "packed":
+            raise ValueError(
+                f"prune={self.prune!r} requires the packed backend; the "
+                f"dense path has no prefix-word structure to bound"
+            )
+        if not 0.0 < self.prefix_fraction <= 1.0:
+            raise ValueError(
+                f"prefix_fraction must be in (0, 1], got "
+                f"{self.prefix_fraction}"
+            )
+        if self.margin_threshold < 0.0:
+            raise ValueError(
+                f"margin_threshold must be >= 0, got {self.margin_threshold}"
+            )
+
+    @property
+    def is_pruned(self) -> bool:
+        """True when this spec runs the prefix-pruned kernel."""
+        return self.prune != "off"
+
+    def with_backend(self, backend: str) -> "SearchSpec":
+        """Copy with the backend replaced (validation re-runs)."""
+        return replace(self, backend=backend)
+
+    def describe(self) -> str:
+        """Compact one-line form for logs and benchmark tables."""
+        if not self.is_pruned:
+            return self.backend
+        return (
+            f"{self.backend}/{self.prune}"
+            f"(prefix={self.prefix_fraction:g}, "
+            f"margin={self.margin_threshold:g})"
+        )
+
+    def to_metadata(self) -> dict:
+        """JSON-safe dict for benchmark artifact metadata."""
+        return {
+            "backend": self.backend,
+            "prune": self.prune,
+            "prefix_fraction": self.prefix_fraction,
+            "margin_threshold": self.margin_threshold,
+        }
+
+
+#: Process-wide fallback spec; see resolution order in the module doc.
+_default_search = SearchSpec()
+
+
+def get_default_search() -> SearchSpec:
+    """The process-default :class:`SearchSpec` (dense, pruning off)."""
+    return _default_search
+
+
+def set_default_search(spec: SearchSpec) -> SearchSpec:
+    """Install a new process default; returns the previous one.
+
+    Objects resolve their spec at *construction* time, so the default
+    only affects models built afterwards — experiment entry points
+    (``repro reproduce --search-*``) set it before building anything.
+    """
+    global _default_search
+    if not isinstance(spec, SearchSpec):
+        raise TypeError(
+            f"default search must be a SearchSpec, got {type(spec).__name__}"
+        )
+    previous = _default_search
+    _default_search = spec
+    return previous
+
+
+def reset_backend_warnings() -> None:
+    """Forget which owners already warned (test isolation hook)."""
+    _backend_warned.clear()
+
+
+def _warn_backend_string(owner: str) -> None:
+    if owner not in _backend_warned:
+        _backend_warned.add(owner)
+        warnings.warn(
+            f"{owner}: {BACKEND_DEPRECATION}",
+            DeprecationWarning,
+            stacklevel=4,
+        )
+
+
+def resolve_search(
+    search: Optional[Union[SearchSpec, str]] = None,
+    backend: Optional[str] = None,
+    *,
+    default: Optional[SearchSpec] = None,
+    owner: str = "search",
+) -> SearchSpec:
+    """Resolve the (search, backend) argument pair to one spec.
+
+    ``search`` wins outright; a legacy ``backend=`` string is accepted
+    through the warn-once deprecation shim and overrides only the
+    backend field of ``default``; with neither, ``default`` (or the
+    process default) applies. Passing both is ambiguous and raises.
+    A bare string passed as ``search`` is treated as the legacy
+    backend keyword too — callers migrating mechanically sometimes
+    rename the keyword without building the dataclass.
+    """
+    if isinstance(search, str):
+        search, backend = None, search
+    if search is not None:
+        if backend is not None:
+            raise ValueError(
+                f"{owner}: pass either search= or the deprecated "
+                f"backend=, not both"
+            )
+        if not isinstance(search, SearchSpec):
+            raise TypeError(
+                f"{owner}: search must be a SearchSpec, got "
+                f"{type(search).__name__}"
+            )
+        return search
+    base = default if default is not None else get_default_search()
+    if backend is None:
+        return base
+    _warn_backend_string(owner)
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    if base.backend == backend:
+        return base
+    if base.is_pruned and backend != "packed":
+        # The legacy keyword cannot express prune knobs; falling from a
+        # pruned packed default to dense drops pruning rather than
+        # erroring under the old API's semantics.
+        return SearchSpec(backend=backend)
+    return base.with_backend(backend)

@@ -23,6 +23,7 @@ import numpy as np
 
 import repro.obs as obs
 from repro.core.compression import compressed_bundle_bytes
+from repro.core.search import SearchSpec, resolve_search
 from repro.hierarchy.federation import EdgeHDFederation
 from repro.network.message import Message, MessageKind
 from repro.utils.rng import derive_rng
@@ -94,7 +95,8 @@ class HierarchicalInference:
         confidence_threshold: Optional[float] = None,
         compression_count: Optional[int] = None,
         min_level: int = 1,
-        backend: str = "dense",
+        backend: Optional[str] = None,
+        search: Optional[SearchSpec] = None,
     ) -> None:
         self.federation = federation
         cfg = federation.config
@@ -113,13 +115,25 @@ class HierarchicalInference:
         #: lowest level allowed to answer (PECAN runs classification on
         #: house level and above — appliances only sense, Sec. VI-C).
         self.min_level = int(min_level)
-        if backend not in {"dense", "packed"}:
-            raise ValueError(
-                f"backend must be 'dense' or 'packed', got {backend!r}"
-            )
-        #: associative-search kernel used at every node
-        #: (see :class:`repro.core.classifier.HDClassifier`).
-        self.backend = backend
+        #: associative-search configuration used at every node
+        #: (see :class:`repro.core.classifier.HDClassifier`); the
+        #: serving runtime reads the same spec, so served answers stay
+        #: bit-identical to this offline walk.
+        self.search = resolve_search(
+            search, backend, owner="HierarchicalInference"
+        )
+
+    @property
+    def backend(self) -> str:
+        """Backend field of :attr:`search` (legacy accessor)."""
+        return self.search.backend
+
+    @backend.setter
+    def backend(self, value: str) -> None:
+        self.search = resolve_search(
+            None, value, default=self.search,
+            owner="HierarchicalInference.backend",
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -140,8 +154,8 @@ class HierarchicalInference:
         re-encoding.
 
         The walk is batch-first: each node classifies its whole cohort
-        of pending queries in one vectorized call (using the dense or
-        packed kernel per ``self.backend``), and confidence gating
+        of pending queries in one vectorized call (using the kernel
+        selected by ``self.search``), and confidence gating
         escalates entire sub-batches at once. The escalation decisions
         are identical to walking queries one at a time.
         """
@@ -173,7 +187,7 @@ class HierarchicalInference:
                 encodings = self.federation.encode_all(mat)
             predictions = {
                 node_id: self.federation.classifiers[node_id].predict(
-                    enc, backend=self.backend
+                    enc, search=self.search
                 )
                 for node_id, enc in encodings.items()
             }

@@ -51,6 +51,7 @@ import numpy as np
 
 import repro.obs as obs
 from repro.core.compression import compressed_bundle_bytes
+from repro.core.search import SearchSpec
 from repro.hierarchy.inference import HierarchicalInference
 from repro.network.medium import Medium
 from repro.obs.telemetry import FlightRecorder, TelemetryLog, TelemetrySampler
@@ -93,6 +94,11 @@ class ServeConfig:
     #: telemetry sampler tick (queue depth / in-flight / per-node fault
     #: counters); only runs when observability is enabled.
     telemetry_interval_ms: float = 25.0
+    #: associative-search override for every node's classify call
+    #: (:class:`repro.core.search.SearchSpec`); ``None`` serves with
+    #: the inference object's own spec, which is what keeps served
+    #: answers bit-identical to the offline walk.
+    search: Optional[SearchSpec] = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -115,6 +121,11 @@ class ServeConfig:
             raise ValueError(
                 f"telemetry_interval_ms must be > 0, got "
                 f"{self.telemetry_interval_ms}"
+            )
+        if self.search is not None and not isinstance(self.search, SearchSpec):
+            raise TypeError(
+                f"search must be a SearchSpec or None, got "
+                f"{type(self.search).__name__}"
             )
 
 
@@ -266,7 +277,7 @@ class _NodeServer:
                         )
         t1 = time.perf_counter()
         result = rt.federation.classifiers[self.node_id].predict(
-            encoded, backend=rt.inference.backend
+            encoded, search=rt.search
         )
         t2 = time.perf_counter()
         encode_ms = (t1 - t0) * 1e3
@@ -479,7 +490,9 @@ class ServingRuntime:
     ----------
     inference:
         The trained escalation pipeline; its threshold, compression
-        count, ``min_level`` and backend all apply verbatim.
+        count, ``min_level`` and :class:`SearchSpec` all apply
+        verbatim (``config.search`` may override the spec for this
+        runtime only).
     medium:
         Link model charged for every escalation / answer transfer.
     config:
@@ -510,6 +523,12 @@ class ServingRuntime:
         self.media_by_level = media_by_level or {}
         self.config = config or ServeConfig()
         self.cap = inference.effective_cap(self.config.max_level)
+        #: resolved associative-search spec every node serves with.
+        self.search: SearchSpec = (
+            self.config.search
+            if self.config.search is not None
+            else inference.search
+        )
         root = self.hierarchy.root_id
         assert root is not None
         self.root_id: int = root

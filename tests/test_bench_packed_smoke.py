@@ -2,9 +2,11 @@
 
 Loads ``benchmarks/bench_packed_kernel.py`` and runs its
 timing-independent checks: dense/packed label equivalence on a
-binarized model and the ``core.similarity.packed_queries`` counter —
-the guard that the packed backend can never silently regress to the
-dense path without a test noticing.
+binarized model, exact-prune bit-identity with the full packed
+search, and the ``core.similarity.packed_queries`` /
+``pruned_queries`` counters — the guard that neither the packed
+backend nor the pruned search can silently regress without a test
+noticing.
 """
 
 import importlib.util
@@ -29,7 +31,11 @@ def test_bench_smoke_mode():
     bench = _load_bench_module()
     evidence = bench.check_equivalence(dimension=512, batch=64)
     assert evidence["labels_equal_excl_ties"] is True
-    assert evidence["packed_queries_counted"] == 64
+    assert evidence["exact_prune_identical"] is True
+    # Three packed-backend predicts (full, exact, approx), of which
+    # the two prune modes also hit the pruned-search counter.
+    assert evidence["packed_queries_counted"] == 3 * 64
+    assert evidence["pruned_queries_counted"] == 2 * 64
 
 
 def test_bench_smoke_cli_entrypoint(capsys):

@@ -192,7 +192,11 @@ class TestServeBench:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["serve-bench"])
         assert args.policy == "block"
-        assert args.backend == "dense"
+        # --backend is now a deprecated alias for --search-backend;
+        # unset means "use the resolved SearchSpec default".
+        assert args.backend is None
+        assert args.search_backend is None
+        assert args.search_prune is None
         assert args.max_batch == 32
         assert args.rate == 500.0
         with pytest.raises(SystemExit):

@@ -1,0 +1,278 @@
+"""Prefix-pruned associative search: exactness and approximation.
+
+The property suite drives :func:`repro.core.kernels.packed_search`
+across random dimensionalities (including off-byte and off-word
+widths), class counts and prefix fractions, asserting the exact
+branch-and-bound argmax is bit-identical to the full packed search —
+the guarantee ``SearchSpec(prune="exact")`` rests on. The smoke test
+pins the approximate mode's accuracy cost on the seed dataset at
+<= 0.5%, the acceptance bar from the issue.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hypervector import random_bipolar
+from repro.core.kernels import (
+    WORD_BITS,
+    PackedBits,
+    calibrate_margin_threshold,
+    pack_bits,
+    packed_dot,
+    packed_search,
+    prefix_word_count,
+    words_per_row,
+)
+from repro.core.model import EdgeHDModel
+from repro.core.search import SearchSpec
+
+
+def make_problem(dimension, n_classes, n_queries, noise, seed):
+    """Class prototypes plus noisy class-member queries, both packed.
+
+    Queries are prototypes with a ``noise`` fraction of elements
+    flipped — the regime pruning targets (pure random queries carry no
+    margin for the bound to exploit, but remain a valid exactness
+    input and the strategy includes noise up to 0.6 to cover it).
+    """
+    rng = np.random.default_rng(seed)
+    protos = random_bipolar(dimension, count=n_classes, seed=seed).astype(
+        np.int8
+    )
+    members = protos[rng.integers(0, n_classes, size=n_queries)]
+    flips = rng.random((n_queries, dimension)) < noise
+    queries = np.where(flips, -members, members)
+    return pack_bits(queries), pack_bits(protos)
+
+
+class TestPrefixWordCount:
+    @pytest.mark.parametrize(
+        "dim,fraction,expected",
+        [
+            (64, 0.125, 1),     # floor of one word
+            (640, 0.125, 2),    # ceil(10 * 0.125)
+            (10000, 0.125, 20),  # ceil(157 * 0.125)
+            (129, 1.0, 3),      # full width
+            (1, 0.01, 1),
+        ],
+    )
+    def test_values(self, dim, fraction, expected):
+        assert prefix_word_count(dim, fraction) == expected
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.01])
+    def test_invalid_fraction(self, fraction):
+        with pytest.raises(ValueError, match="prefix_fraction"):
+            prefix_word_count(100, fraction)
+
+
+class TestExactPruneEquivalence:
+    @given(
+        dimension=st.integers(min_value=3, max_value=700),
+        n_classes=st.integers(min_value=1, max_value=13),
+        n_queries=st.integers(min_value=1, max_value=24),
+        noise=st.floats(min_value=0.0, max_value=0.6),
+        prefix_fraction=st.sampled_from([0.05, 0.125, 0.3, 1.0]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_argmax_bit_identical_to_full_search(
+        self, dimension, n_classes, n_queries, noise, prefix_fraction, seed
+    ):
+        queries, refs = make_problem(
+            dimension, n_classes, n_queries, noise, seed
+        )
+        full = packed_dot(queries, refs)
+        expected = np.argmax(full, axis=1)
+        result = packed_search(
+            queries, refs, prune="exact", prefix_fraction=prefix_fraction
+        )
+        np.testing.assert_array_equal(result.labels, expected)
+        # Proxy similarities of pruned classes must not disturb the
+        # argmax either — confidence code reads the similarity matrix.
+        np.testing.assert_array_equal(
+            np.argmax(result.similarities, axis=1), expected
+        )
+        # The winner's similarity is always exact (it was refined).
+        rows = np.arange(n_queries)
+        np.testing.assert_allclose(
+            result.similarities[rows, expected],
+            full[rows, expected] / dimension,
+        )
+
+    @pytest.mark.parametrize("dimension", [63, 64, 65, 127, 129, 1000])
+    def test_off_word_dimensions_fixed_examples(self, dimension):
+        queries, refs = make_problem(dimension, 5, 20, 0.1, seed=dimension)
+        expected = np.argmax(packed_dot(queries, refs), axis=1)
+        for prefix_words in (1, max(1, words_per_row(dimension) // 2)):
+            result = packed_search(
+                queries, refs, prune="exact", prefix_words=prefix_words
+            )
+            np.testing.assert_array_equal(result.labels, expected)
+
+    def test_prune_off_matches_full_kernel_exactly(self):
+        queries, refs = make_problem(500, 6, 30, 0.2, seed=1)
+        result = packed_search(queries, refs, prune="off")
+        np.testing.assert_allclose(
+            result.similarities, packed_dot(queries, refs) / 500.0
+        )
+        assert result.stats.mode == "off"
+        assert result.stats.n_pruned == 0
+
+    def test_stats_account_for_every_pair(self):
+        n_queries, n_classes = 40, 8
+        queries, refs = make_problem(640, n_classes, n_queries, 0.05, seed=2)
+        stats = packed_search(queries, refs, prune="exact").stats
+        assert stats.mode == "exact"
+        assert stats.prefix_words == prefix_word_count(640, 0.125)
+        assert stats.n_pruned + stats.n_refined == n_queries * n_classes
+        # Low noise leaves wide margins: the bound must prune *something*.
+        assert stats.n_pruned > 0
+        assert stats.total_ms == (
+            stats.prefix_ms + stats.bound_ms + stats.refine_ms
+        )
+        assert set(stats.to_dict()) >= {
+            "mode", "prefix_ms", "bound_ms", "refine_ms", "n_pruned"
+        }
+
+    def test_rejects_bad_arguments(self):
+        queries, refs = make_problem(128, 3, 4, 0.1, seed=3)
+        with pytest.raises(ValueError, match="prune must be"):
+            packed_search(queries, refs, prune="fast")
+        with pytest.raises(ValueError, match="prefix_words"):
+            packed_search(queries, refs, prefix_words=0)
+        with pytest.raises(ValueError, match="prefix_words"):
+            packed_search(queries, refs, prefix_words=99)
+        other = pack_bits(random_bipolar(64, count=2, seed=4))
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            packed_search(queries, other)
+        no_refs = PackedBits(
+            words=np.empty((0, 2), dtype=np.uint64), dimension=128
+        )
+        with pytest.raises(ValueError, match="at least one row"):
+            packed_search(queries, no_refs)
+
+
+class TestApproxMode:
+    def test_infinite_threshold_degenerates_to_exact(self):
+        queries, refs = make_problem(512, 6, 50, 0.3, seed=7)
+        exact = packed_search(queries, refs, prune="exact")
+        approx = packed_search(
+            queries, refs, prune="approx", margin_threshold=float("inf")
+        )
+        np.testing.assert_array_equal(approx.labels, exact.labels)
+        assert approx.stats.n_prefix_accepted == 0
+
+    def test_zero_threshold_accepts_every_query(self):
+        queries, refs = make_problem(512, 6, 50, 0.05, seed=8)
+        result = packed_search(
+            queries, refs, prune="approx", margin_threshold=0.0
+        )
+        assert result.stats.n_prefix_accepted == 50
+        # Prefix argmax at low noise still recovers the true labels.
+        expected = np.argmax(packed_dot(queries, refs), axis=1)
+        assert np.mean(result.labels == expected) >= 0.95
+
+    def test_single_class_accepts_everything(self):
+        queries, refs = make_problem(256, 1, 10, 0.4, seed=9)
+        result = packed_search(
+            queries, refs, prune="approx", margin_threshold=10.0
+        )
+        np.testing.assert_array_equal(result.labels, np.zeros(10))
+        assert result.stats.n_prefix_accepted == 10
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_non_accepted_rows_are_exact(self, seed):
+        queries, refs = make_problem(448, 7, 30, 0.25, seed=seed)
+        result = packed_search(
+            queries, refs, prune="approx", margin_threshold=0.15
+        )
+        expected = np.argmax(packed_dot(queries, refs), axis=1)
+        k = prefix_word_count(448, 0.125)
+        prefix_bits = min(k * WORD_BITS, 448)
+        q_pref = PackedBits(
+            words=queries.words[:, :k].copy(), dimension=prefix_bits
+        )
+        r_pref = PackedBits(
+            words=refs.words[:, :k].copy(), dimension=prefix_bits
+        )
+        prefix_labels = np.argmax(packed_dot(q_pref, r_pref), axis=1)
+        accepted = result.labels == prefix_labels
+        # Every row the margin gate did NOT accept must be exact.
+        mism = result.labels != expected
+        assert not np.any(mism & ~accepted)
+
+
+class TestCalibration:
+    def test_threshold_meets_target_on_calibration_set(self):
+        queries, refs = make_problem(640, 8, 200, 0.2, seed=11)
+        threshold = calibrate_margin_threshold(
+            queries, refs, target_agreement=0.99
+        )
+        assert np.isfinite(threshold)
+        result = packed_search(
+            queries, refs, prune="approx", margin_threshold=threshold
+        )
+        expected = np.argmax(packed_dot(queries, refs), axis=1)
+        assert np.mean(result.labels == expected) >= 0.99
+
+    def test_trivial_cases_return_zero(self):
+        queries, refs = make_problem(128, 1, 10, 0.1, seed=12)
+        assert calibrate_margin_threshold(queries, refs) == 0.0
+        queries, refs = make_problem(64, 4, 10, 0.1, seed=13)
+        assert calibrate_margin_threshold(
+            queries, refs, prefix_fraction=1.0
+        ) == 0.0
+
+    def test_validation_errors(self):
+        queries, refs = make_problem(128, 3, 10, 0.1, seed=14)
+        with pytest.raises(ValueError, match="target_agreement"):
+            calibrate_margin_threshold(queries, refs, target_agreement=0.0)
+        with pytest.raises(ValueError, match="at least one query"):
+            calibrate_margin_threshold(
+                PackedBits(words=queries.words[:0], dimension=128), refs
+            )
+        with pytest.raises(ValueError, match="prefix_words"):
+            calibrate_margin_threshold(queries, refs, prefix_words=50)
+
+
+class TestApproxAccuracySmoke:
+    """Seed-dataset accuracy cost of the approximate mode (<= 0.5%)."""
+
+    @pytest.fixture(scope="class")
+    def trained(self, small_split):
+        train_x, train_y, test_x, test_y = small_split
+        model = EdgeHDModel(
+            n_features=train_x.shape[1], n_classes=3,
+            dimension=2048, seed=23,
+        )
+        model.fit(train_x, train_y, retrain_epochs=10)
+        model.classifier.binarize_model()
+        return model, train_x, test_x, test_y
+
+    def test_accuracy_delta_within_half_percent(self, trained):
+        model, train_x, test_x, test_y = trained
+        exact_acc = model.accuracy(
+            test_x, test_y, search=SearchSpec(backend="packed")
+        )
+        spec = model.classifier.calibrate_search(
+            model.encode(train_x), target_agreement=0.995
+        )
+        assert spec.prune == "approx"
+        approx_acc = model.accuracy(test_x, test_y, search=spec)
+        assert approx_acc >= exact_acc - 0.005
+
+    def test_pruned_serving_stats_exposed(self, trained):
+        model, _, test_x, _ = trained
+        model.predict(
+            test_x,
+            search=SearchSpec(backend="packed", prune="exact"),
+        )
+        stats = model.classifier.last_search_stats
+        assert stats is not None and stats.mode == "exact"
+        assert stats.n_queries == len(test_x)
+        assert stats.n_pruned + stats.n_refined == (
+            stats.n_queries * stats.n_classes
+        )

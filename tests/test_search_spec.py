@@ -1,0 +1,240 @@
+"""SearchSpec API contract: validation, resolution order, and the
+warn-once ``backend=`` deprecation shim.
+
+The shim's warning text is pinned verbatim here (see
+``BACKEND_DEPRECATION`` in :mod:`repro.core.search`) so it cannot
+silently drift or disappear while call sites still depend on it.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import HDClassifier
+from repro.core.hypervector import random_bipolar
+from repro.core.model import EdgeHDModel
+from repro.core.predictor import SearchAwarePredictor
+from repro.core.search import (
+    BACKEND_DEPRECATION,
+    BACKENDS,
+    PRUNE_MODES,
+    SearchSpec,
+    get_default_search,
+    reset_backend_warnings,
+    resolve_search,
+    set_default_search,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_search_state():
+    """Each test sees a fresh warn-once set and the stock default."""
+    reset_backend_warnings()
+    previous = set_default_search(SearchSpec())
+    yield
+    set_default_search(previous)
+    reset_backend_warnings()
+
+
+class TestSearchSpecValidation:
+    def test_default_is_dense_unpruned(self):
+        spec = SearchSpec()
+        assert spec.backend == "dense"
+        assert spec.prune == "off"
+        assert not spec.is_pruned
+
+    def test_constants(self):
+        assert BACKENDS == ("dense", "packed")
+        assert PRUNE_MODES == ("off", "exact", "approx")
+
+    @pytest.mark.parametrize("backend", ["gpu", "", "DENSE"])
+    def test_rejects_unknown_backend(self, backend):
+        with pytest.raises(ValueError, match="backend must be one of"):
+            SearchSpec(backend=backend)
+
+    def test_rejects_unknown_prune(self):
+        with pytest.raises(ValueError, match="prune must be one of"):
+            SearchSpec(backend="packed", prune="fast")
+
+    @pytest.mark.parametrize("prune", ["exact", "approx"])
+    def test_prune_requires_packed_backend(self, prune):
+        with pytest.raises(ValueError, match="requires the packed backend"):
+            SearchSpec(backend="dense", prune=prune)
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_rejects_bad_prefix_fraction(self, fraction):
+        with pytest.raises(ValueError, match="prefix_fraction"):
+            SearchSpec(backend="packed", prefix_fraction=fraction)
+
+    def test_rejects_negative_margin(self):
+        with pytest.raises(ValueError, match="margin_threshold"):
+            SearchSpec(backend="packed", margin_threshold=-0.01)
+
+    def test_frozen(self):
+        spec = SearchSpec()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.backend = "packed"
+
+    def test_with_backend_revalidates(self):
+        pruned = SearchSpec(backend="packed", prune="exact")
+        with pytest.raises(ValueError, match="requires the packed backend"):
+            pruned.with_backend("dense")
+        assert pruned.with_backend("packed") == pruned
+
+    def test_describe_forms(self):
+        assert SearchSpec().describe() == "dense"
+        assert SearchSpec(backend="packed").describe() == "packed"
+        pruned = SearchSpec(
+            backend="packed", prune="approx",
+            prefix_fraction=0.25, margin_threshold=0.1,
+        )
+        assert pruned.describe() == "packed/approx(prefix=0.25, margin=0.1)"
+
+    def test_to_metadata_roundtrips(self):
+        spec = SearchSpec(backend="packed", prune="exact")
+        meta = spec.to_metadata()
+        assert SearchSpec(**meta) == spec
+        assert set(meta) == {
+            "backend", "prune", "prefix_fraction", "margin_threshold"
+        }
+
+
+class TestResolveSearch:
+    def test_spec_wins_outright(self):
+        spec = SearchSpec(backend="packed", prune="exact")
+        assert resolve_search(spec) is spec
+
+    def test_falls_back_to_default_argument(self):
+        default = SearchSpec(backend="packed")
+        assert resolve_search(None, None, default=default) is default
+
+    def test_falls_back_to_process_default(self):
+        assert resolve_search() is get_default_search()
+        installed = SearchSpec(backend="packed", prune="approx")
+        set_default_search(installed)
+        assert resolve_search() is installed
+
+    def test_both_given_is_ambiguous(self):
+        with pytest.raises(ValueError, match="not both"):
+            resolve_search(SearchSpec(), "packed", owner="X")
+
+    def test_rejects_non_spec_search(self):
+        with pytest.raises(TypeError, match="must be a SearchSpec"):
+            resolve_search(42)  # type: ignore[arg-type]
+
+    def test_legacy_backend_warns_with_pinned_text(self):
+        with pytest.warns(DeprecationWarning) as record:
+            spec = resolve_search(None, "packed", owner="X")
+        assert spec.backend == "packed"
+        assert str(record[0].message) == f"X: {BACKEND_DEPRECATION}"
+
+    def test_string_search_treated_as_legacy_backend(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            spec = resolve_search("packed", owner="X")
+        assert spec == SearchSpec(backend="packed")
+
+    def test_warns_once_per_owner(self, recwarn):
+        resolve_search(None, "packed", owner="A")
+        resolve_search(None, "packed", owner="A")
+        resolve_search(None, "dense", owner="B")
+        messages = [str(w.message) for w in recwarn.list]
+        assert messages == [
+            f"A: {BACKEND_DEPRECATION}",
+            f"B: {BACKEND_DEPRECATION}",
+        ]
+
+    def test_reset_backend_warnings_rearms(self):
+        with pytest.warns(DeprecationWarning):
+            resolve_search(None, "packed", owner="A")
+        reset_backend_warnings()
+        with pytest.warns(DeprecationWarning):
+            resolve_search(None, "packed", owner="A")
+
+    def test_legacy_backend_rejects_unknown_string(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="backend must be one of"):
+                resolve_search(None, "gpu")
+
+    def test_legacy_backend_keeps_default_knobs(self):
+        default = SearchSpec(
+            backend="dense", prefix_fraction=0.5, margin_threshold=0.2
+        )
+        with pytest.warns(DeprecationWarning):
+            spec = resolve_search(None, "packed", default=default)
+        assert spec.backend == "packed"
+        assert spec.prefix_fraction == 0.5
+        assert spec.margin_threshold == 0.2
+
+    def test_legacy_dense_drops_pruning_from_packed_default(self):
+        default = SearchSpec(backend="packed", prune="approx")
+        with pytest.warns(DeprecationWarning):
+            spec = resolve_search(None, "dense", default=default)
+        assert spec == SearchSpec(backend="dense")
+
+
+class TestProcessDefault:
+    def test_set_returns_previous(self):
+        stock = get_default_search()
+        installed = SearchSpec(backend="packed")
+        assert set_default_search(installed) == stock
+        assert get_default_search() is installed
+
+    def test_set_rejects_non_spec(self):
+        with pytest.raises(TypeError, match="must be a SearchSpec"):
+            set_default_search("packed")  # type: ignore[arg-type]
+
+
+class TestObjectIntegration:
+    def _fitted(self, dimension=256, n_classes=4, **kwargs):
+        clf = HDClassifier(n_classes, dimension, **kwargs)
+        clf.set_model(
+            random_bipolar(
+                dimension, count=n_classes, seed=3
+            ).astype(float)
+        )
+        return clf
+
+    def test_classifier_backend_kwarg_warns_once(self, recwarn):
+        clf = self._fitted(backend="packed")
+        assert clf.search == SearchSpec(backend="packed")
+        self._fitted(backend="packed")
+        owners = [str(w.message).split(":")[0] for w in recwarn.list]
+        assert owners == ["HDClassifier"]
+
+    def test_classifier_backend_property_round_trip(self):
+        clf = self._fitted()
+        assert clf.backend == "dense"
+        with pytest.warns(DeprecationWarning, match="HDClassifier.backend"):
+            clf.backend = "packed"
+        assert clf.search.backend == "packed"
+
+    def test_classifier_resolution_order_per_call_wins(self):
+        clf = self._fitted(search=SearchSpec(backend="dense"))
+        queries = random_bipolar(256, count=8, seed=9).astype(float)
+        per_call = SearchSpec(backend="packed", prune="exact")
+        sims = clf.similarities(queries, search=per_call)
+        assert clf.last_search_stats is not None
+        assert clf.last_search_stats.mode == "exact"
+        packed = clf.similarities(queries, search=SearchSpec(backend="packed"))
+        np.testing.assert_array_equal(
+            np.argmax(sims, axis=1), np.argmax(packed, axis=1)
+        )
+
+    def test_classifier_built_from_process_default(self):
+        set_default_search(SearchSpec(backend="packed", prune="exact"))
+        clf = self._fitted()
+        assert clf.search == SearchSpec(backend="packed", prune="exact")
+
+    def test_model_conforms_to_search_aware_protocol(self):
+        model = EdgeHDModel(n_features=8, n_classes=3, dimension=128, seed=1)
+        assert isinstance(model, SearchAwarePredictor)
+        assert model.search == SearchSpec()
+        with pytest.raises(TypeError, match="SearchSpec"):
+            model.search = "packed"  # type: ignore[assignment]
+        model.search = SearchSpec(backend="packed")
+        assert model.classifier.search.backend == "packed"
+
+    def test_copy_preserves_search(self):
+        clf = self._fitted(search=SearchSpec(backend="packed", prune="exact"))
+        assert clf.copy().search == clf.search
