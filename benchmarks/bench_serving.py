@@ -8,12 +8,20 @@ p50/p95/p99 total latency, the per-stage breakdown, escalation volume
 and accuracy — the live-system counterpart of the offline message
 accounting in ``repro.hierarchy.inference``.
 
+Beyond the single-process grid, a scaling section drives the
+multi-process :class:`repro.serve.ClusterRuntime` at the same offered
+load with workers in ``SCALING_WORKERS`` — shared-memory model
+replicas, consistent-hash sharding — and every cell records its
+runtime topology (workers / replicas / shared bytes) plus the
+degraded-answer rate.
+
 Emits ``benchmarks/results/BENCH_serving.json`` plus a human-readable
 table. Run standalone with ``python benchmarks/bench_serving.py
-[--smoke]``; ``--smoke`` skips the timing grid and only runs the
-timing-independent checks (served answers identical to the offline
-walk; overload sheds instead of growing queues), which is also what
-``tests/test_bench_serving_smoke.py`` exercises.
+[--smoke [--workers N]]``; ``--smoke`` skips the timing grid and only
+runs the timing-independent checks (served answers identical to the
+offline walk; overload sheds instead of growing queues; with
+``--workers N`` the N-process cluster equivalence + zero-copy attach),
+which is also what ``tests/test_bench_serving_smoke.py`` exercises.
 """
 
 import numpy as np
@@ -29,7 +37,13 @@ from repro.hierarchy import (
 )
 from repro.core.search import SearchSpec
 from repro.network.medium import get_medium
-from repro.serve import ServeConfig, ServingRuntime, make_workload
+from repro.serve import (
+    ClusterConfig,
+    ClusterRuntime,
+    ServeConfig,
+    ServingRuntime,
+    make_workload,
+)
 
 DATASET = "APRI"
 MEDIUM = "wifi-802.11ac"
@@ -40,6 +54,8 @@ THRESHOLDS = (0.6, 0.8, 0.95)
 SEARCH_SPECS = (SearchSpec(backend="dense"), SearchSpec(backend="packed"))
 MAX_BATCH = 32
 RATE_RPS = 1500.0
+#: worker counts for the multi-process scaling curve.
+SCALING_WORKERS = (1, 2, 4, 8)
 
 
 def train_federation(scale=None):
@@ -62,23 +78,32 @@ def train_federation(scale=None):
     return federation, data
 
 
-def run_cell(federation, data, wait_ms, threshold, search):
+def run_cell(
+    federation, data, wait_ms, threshold, search, workers=1,
+    force_cluster=False,
+):
     if isinstance(search, str):
         search = SearchSpec(backend=search)
     inference = HierarchicalInference(
         federation, confidence_threshold=threshold, search=search
     )
     workload = make_workload(data.test_x, inference, seed=3, labels=data.test_y)
-    runtime = ServingRuntime(
-        inference,
-        get_medium(MEDIUM),
-        ServeConfig(
-            max_batch=MAX_BATCH,
-            max_wait_ms=wait_ms,
-            queue_depth=max(64, len(workload)),
-        ),
+    config = ServeConfig(
+        max_batch=MAX_BATCH,
+        max_wait_ms=wait_ms,
+        queue_depth=max(64, len(workload)),
     )
-    result = runtime.serve_open_loop(workload, rate_rps=RATE_RPS, seed=1)
+    if workers > 1 or force_cluster:
+        with ClusterRuntime(
+            inference, get_medium(MEDIUM), config,
+            cluster=ClusterConfig(workers=workers),
+        ) as runtime:
+            result = runtime.serve_open_loop(
+                workload, rate_rps=RATE_RPS, seed=1
+            )
+    else:
+        runtime = ServingRuntime(inference, get_medium(MEDIUM), config)
+        result = runtime.serve_open_loop(workload, rate_rps=RATE_RPS, seed=1)
     assert result.n_shed == 0, "grid cells must run below overload"
     labels = np.asarray([r.label for r in result.responses])
     return {
@@ -94,6 +119,8 @@ def run_cell(federation, data, wait_ms, threshold, search):
         "wire_bytes": result.wire_bytes,
         "energy_j": result.energy_j,
         "accuracy": workload.accuracy(labels),
+        "degraded_rate": result.degraded_rate,
+        "topology": result.topology,
     }
 
 
@@ -117,6 +144,40 @@ def run_grid(scale=None) -> dict:
         ),
         "cells": cells,
     }
+
+
+def run_scaling(federation, data) -> list:
+    """Throughput / p99 vs worker count at the full offered load.
+
+    One point per ``SCALING_WORKERS`` entry, all serving the same
+    workload at ``RATE_RPS`` offered Poisson load with default grid
+    settings (2 ms window, 0.8 threshold, dense search). The
+    ``workers=1`` point also runs through the cluster so the curve
+    isolates process scaling from router overhead.
+    """
+    points = []
+    for workers in SCALING_WORKERS:
+        cell = run_cell(
+            federation, data, 2.0, 0.8, "dense",
+            workers=workers, force_cluster=True,
+        )
+        points.append(
+            {
+                "workers": workers,
+                "throughput_rps": cell["throughput_rps"],
+                "p50_ms": cell["latency_ms"]["p50"],
+                "p99_ms": cell["latency_ms"]["p99"],
+                "degraded_rate": cell["degraded_rate"],
+                "topology": cell["topology"],
+                "accuracy": cell["accuracy"],
+            }
+        )
+        print(
+            f"  scaling: workers={workers} -> "
+            f"{cell['throughput_rps']:.0f} req/s, "
+            f"p99 {cell['latency_ms']['p99']:.2f} ms"
+        )
+    return points
 
 
 def export_openmetrics_example(federation, data) -> dict:
@@ -154,7 +215,8 @@ def format_grid(payload: dict) -> str:
         f"Serving {payload['dataset']} over {payload['medium']} at "
         f"{payload['rate_rps']:.0f} req/s (open-loop Poisson)",
         f"{'backend':>7} {'thresh':>6} {'wait ms':>7} {'rps':>6} "
-        f"{'p50':>7} {'p95':>7} {'p99':>7} {'escal':>6} {'acc':>6}",
+        f"{'p50':>7} {'p95':>7} {'p99':>7} {'escal':>6} {'degr':>6} "
+        f"{'acc':>6}",
     ]
     for c in payload["cells"]:
         p = c["latency_ms"]
@@ -162,12 +224,32 @@ def format_grid(payload: dict) -> str:
             f"{c['backend']:>7} {c['threshold']:>6.2f} "
             f"{c['max_wait_ms']:>7.1f} {c['throughput_rps']:>6.0f} "
             f"{p['p50']:>7.2f} {p['p95']:>7.2f} {p['p99']:>7.2f} "
-            f"{c['escalated']:>6d} {c['accuracy']:>6.3f}"
+            f"{c['escalated']:>6d} {c['degraded_rate']:>6.1%} "
+            f"{c['accuracy']:>6.3f}"
         )
     lines.append(
         "(p50/p95/p99 in ms over per-request total latency; 'escal' = "
-        "queries escalated past their entry node)"
+        "queries escalated past their entry node; 'degr' = fraction "
+        "answered in degraded mode)"
     )
+    if payload.get("scaling"):
+        lines.append("")
+        lines.append(
+            f"Worker scaling (cluster, {payload['rate_rps']:.0f} req/s "
+            "offered, dense search, threshold 0.8, 2 ms window)"
+        )
+        lines.append(
+            f"{'workers':>7} {'shards':>6} {'rps':>6} {'p50':>7} "
+            f"{'p99':>7} {'degr':>6} {'shm KiB':>8}"
+        )
+        for s in payload["scaling"]:
+            topo = s["topology"]
+            lines.append(
+                f"{s['workers']:>7d} {topo['n_shards']:>6d} "
+                f"{s['throughput_rps']:>6.0f} {s['p50_ms']:>7.2f} "
+                f"{s['p99_ms']:>7.2f} {s['degraded_rate']:>6.1%} "
+                f"{topo['shared_memory_bytes'] / 1024:>8.1f}"
+            )
     return "\n".join(lines)
 
 
@@ -243,18 +325,80 @@ def check_equivalence() -> dict:
     }
 
 
+def check_cluster_equivalence(workers=2) -> dict:
+    """Cluster smoke: multi-process answers == offline, zero-copy attach.
+
+    Serves the equivalence workload through a ``workers``-process
+    :class:`ClusterRuntime` and asserts (a) every worker attached the
+    shared model store without copying a single model array, and
+    (b) labels / deciding nodes / levels / wire bytes match the offline
+    walk exactly (confidences to float tolerance). This is the CI
+    cluster smoke job's payload (``--smoke --workers N``).
+    """
+    data = load_dataset(DATASET, scale=0.05, max_train=600, max_test=200, seed=7)
+    spec = DATASETS[DATASET]
+    federation = EdgeHDFederation(
+        build_tree(spec.n_end_nodes),
+        partition_features(data.n_features, spec.n_end_nodes),
+        data.n_classes,
+        EdgeHDConfig(dimension=512, retrain_epochs=3, batch_size=10, seed=7),
+    )
+    federation.fit_offline(data.train_x, data.train_y)
+    inference = HierarchicalInference(federation, confidence_threshold=0.8)
+    workload = make_workload(data.test_x, inference, seed=3)
+    offline = inference.run(data.test_x, seed=3)
+
+    with ClusterRuntime(
+        inference,
+        get_medium("wired-1gbps"),
+        ServeConfig(max_batch=8, max_wait_ms=1.0, queue_depth=512),
+        cluster=ClusterConfig(workers=workers),
+    ) as runtime:
+        if not runtime.zero_copy:
+            raise AssertionError(
+                "a worker copied model arrays instead of attaching views"
+            )
+        shared_bytes = runtime.topology()["shared_memory_bytes"]
+        served = runtime.serve_open_loop(workload, rate_rps=2000.0, seed=1)
+    out = served.to_outcome()
+    if not np.array_equal(out.labels, offline.labels):
+        raise AssertionError("cluster labels differ from the offline walk")
+    if not np.array_equal(out.deciding_node, offline.deciding_node):
+        raise AssertionError("cluster deciding nodes differ from offline")
+    if not np.array_equal(out.deciding_level, offline.deciding_level):
+        raise AssertionError("cluster deciding levels differ from offline")
+    if out.total_bytes != offline.total_bytes:
+        raise AssertionError(
+            f"cluster message accounting ({out.total_bytes} B) differs "
+            f"from offline ({offline.total_bytes} B)"
+        )
+    if not np.allclose(out.confidence, offline.confidence):
+        raise AssertionError("cluster confidences drifted beyond tolerance")
+    return {
+        "workers": workers,
+        "n_queries": len(workload),
+        "labels_equal": True,
+        "bytes_equal": True,
+        "zero_copy": True,
+        "shared_memory_bytes": int(shared_bytes),
+    }
+
+
 def bench_serving(benchmark):
-    """pytest-benchmark entry: full grid + the equivalence smoke."""
+    """pytest-benchmark entry: full grid + scaling + equivalence smokes."""
     payload = benchmark.pedantic(
         run_grid, rounds=1, iterations=1, warmup_rounds=0
     )
     payload["smoke"] = check_equivalence()
+    payload["cluster_smoke"] = check_cluster_equivalence(workers=2)
     federation, data = train_federation()
+    payload["scaling"] = run_scaling(federation, data)
     payload["openmetrics"] = export_openmetrics_example(federation, data)
     save_json("BENCH_serving", payload)
     save_report("bench_serving", format_grid(payload))
     for cell in payload["cells"]:
         assert cell["latency_ms"]["p99"] >= cell["latency_ms"]["p50"]
+        assert cell["topology"]["workers"] >= 1
 
 
 def main(argv=None) -> None:
@@ -267,14 +411,25 @@ def main(argv=None) -> None:
         help="skip the timing grid; only run the timing-independent "
         "serving-vs-offline equivalence + overload shedding checks",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="with --smoke: also verify the --workers-process cluster "
+        "answers match the offline walk with zero-copy shared models",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         evidence = check_equivalence()
+        if args.workers > 1:
+            evidence["cluster"] = check_cluster_equivalence(args.workers)
         print(f"serving smoke OK: {evidence}")
         return
     payload = run_grid()
     payload["smoke"] = check_equivalence()
+    payload["cluster_smoke"] = check_cluster_equivalence(workers=2)
     federation, data = train_federation()
+    payload["scaling"] = run_scaling(federation, data)
     payload["openmetrics"] = export_openmetrics_example(federation, data)
     save_json("BENCH_serving", payload)
     save_report("bench_serving", format_grid(payload))

@@ -18,6 +18,8 @@ REPRO107   silent-broad-except      hot paths never swallow errors silently
 REPRO108   unvalidated-array-api    public array APIs validate their input
 REPRO109   legacy-backend-string    associative search is configured through
                                     ``SearchSpec``, not bare ``backend=`` strings
+REPRO110   process-boundary         ``multiprocessing`` process / shared-memory
+                                    primitives stay inside the serving cluster
 =========  =======================  ==========================================
 
 Suppress a rule for one line with a trailing
@@ -43,6 +45,7 @@ __all__ = [
     "SilentBroadExceptRule",
     "UnvalidatedArrayApiRule",
     "LegacyBackendStringRule",
+    "ProcessBoundaryRule",
     "DEFAULT_RULES",
     "RULE_INDEX",
     "default_rules",
@@ -585,6 +588,70 @@ class LegacyBackendStringRule(Rule):
                 )
 
 
+class ProcessBoundaryRule(Rule):
+    """Process management stays inside the serving-cluster subsystem.
+
+    ``multiprocessing`` primitives (``Process``, queues,
+    ``shared_memory``) carry sharp lifecycle edges: leaked segments
+    survive the interpreter, forked children inherit BLAS thread pools,
+    and resource-tracker interactions differ by start method. The repo
+    keeps all of that behind :mod:`repro.serve.cluster` /
+    :mod:`repro.serve.shard` (and the zero-copy attach helpers in
+    :mod:`repro.core.kernels`), so importing ``multiprocessing``
+    anywhere else re-opens a boundary the cluster subsystem exists to
+    close. The import is the enforcement point — any use starts with
+    one, and flagging it avoids alias-chasing.
+    """
+
+    rule_id = "REPRO110"
+    severity = "error"
+    description = (
+        "multiprocessing imported outside the serving cluster; process "
+        "and shared-memory management belong to repro.serve.cluster"
+    )
+    autofix_hint = (
+        "route process work through repro.serve.cluster / "
+        "repro.serve.shard (or extend that subsystem)"
+    )
+    node_types = (ast.Import, ast.ImportFrom)
+
+    _ALLOWED = (
+        ("repro", "serve", "cluster.py"),
+        ("repro", "serve", "shard.py"),
+        ("repro", "core", "kernels.py"),
+    )
+
+    def _allowed(self, ctx: FileContext) -> bool:
+        return any(_in_module(ctx, *suffix) for suffix in self._ALLOWED)
+
+    def on_node(self, ctx: FileContext, node: ast.AST) -> Iterator[Finding]:
+        if self._allowed(ctx):
+            return
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if (
+                    alias.name == "multiprocessing"
+                    or alias.name.startswith("multiprocessing.")
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"import {alias.name} outside the cluster "
+                        "subsystem crosses the process-management "
+                        "boundary",
+                    )
+            return
+        assert isinstance(node, ast.ImportFrom)
+        module = node.module or ""
+        if module == "multiprocessing" or module.startswith("multiprocessing."):
+            yield self.finding(
+                ctx,
+                node,
+                f"from {module} import ... outside the cluster subsystem "
+                "crosses the process-management boundary",
+            )
+
+
 def default_rules() -> List[Rule]:
     """Fresh instances of every built-in rule (engine runs are stateful)."""
     return [
@@ -597,6 +664,7 @@ def default_rules() -> List[Rule]:
         SilentBroadExceptRule(),
         UnvalidatedArrayApiRule(),
         LegacyBackendStringRule(),
+        ProcessBoundaryRule(),
     ]
 
 

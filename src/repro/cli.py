@@ -327,10 +327,6 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             latency_jitter_s=args.fault_jitter_ms * 1e-3,
             crash_windows=crashes,
         )
-    runtime = ServingRuntime(
-        inference, get_medium(args.medium), serve_config,
-        fault_plan=fault_plan,
-    )
     print(
         f"{args.dataset} over {args.topology.upper()} "
         f"({len(hierarchy.nodes)} nodes), "
@@ -339,20 +335,57 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     if fault_plan is not None:
         crashed = sorted(fault_plan.crash_windows) or "none"
+        what = "replicas" if args.workers > 1 else "nodes"
         print(
             f"faults: drop {fault_plan.drop_probability:.2f}, "
             f"dim loss {fault_plan.dimension_loss:.2f}, "
             f"jitter <= {fault_plan.latency_jitter_s * 1e3:.1f} ms, "
-            f"crashed nodes {crashed}"
+            f"crashed {what} {crashed}"
         )
-    if args.closed_loop:
-        print(f"closed loop: {args.clients} clients")
-        result = runtime.serve_closed_loop(workload, n_clients=args.clients)
+    if args.workers > 1:
+        from repro.serve import ClusterConfig, ClusterRuntime
+
+        if args.closed_loop:
+            print(
+                "error: cluster serving is open-loop only",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            cluster = ClusterConfig(
+                workers=args.workers,
+                replicas_per_shard=args.replicas_per_shard,
+            )
+            runtime = ClusterRuntime(
+                inference, get_medium(args.medium), serve_config,
+                cluster=cluster, fault_plan=fault_plan,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"cluster: {cluster.workers} workers over {cluster.n_shards} "
+            f"shards, open loop at {args.rate:.0f} req/s"
+        )
+        with runtime:
+            result = runtime.serve_open_loop(
+                workload, rate_rps=args.rate, seed=args.seed
+            )
     else:
-        print(f"open loop: Poisson arrivals at {args.rate:.0f} req/s")
-        result = runtime.serve_open_loop(
-            workload, rate_rps=args.rate, seed=args.seed
+        runtime = ServingRuntime(
+            inference, get_medium(args.medium), serve_config,
+            fault_plan=fault_plan,
         )
+        if args.closed_loop:
+            print(f"closed loop: {args.clients} clients")
+            result = runtime.serve_closed_loop(
+                workload, n_clients=args.clients
+            )
+        else:
+            print(f"open loop: Poisson arrivals at {args.rate:.0f} req/s")
+            result = runtime.serve_open_loop(
+                workload, rate_rps=args.rate, seed=args.seed
+            )
     print(result.summary())
     if result.n_answered:
         served_labels = [r.label for r in result.answered]
@@ -362,7 +395,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         accuracy = float(np.mean(np.asarray(served_labels) == truth))
         print(f"accuracy (answered): {accuracy:.3f}")
     if obs.enabled():
-        print(runtime.flight.summary())
+        if isinstance(runtime, ServingRuntime):
+            print(runtime.flight.summary())
         if args.trace and result.traces is not None:
             written = result.traces.export_jsonl(args.trace)
             print(
@@ -669,6 +703,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="in-flight requests in closed-loop mode",
     )
     serve_bench.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; > 1 serves through the multi-process "
+             "cluster with shared-memory model replicas",
+    )
+    serve_bench.add_argument(
+        "--replicas-per-shard", type=int, default=1,
+        help="replicas per request shard (cluster mode)",
+    )
+    serve_bench.add_argument(
         "--faults", action="store_true",
         help="serve through deterministic chaos (FaultPlan)",
     )
@@ -686,7 +729,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_bench.add_argument(
         "--fault-crash", type=int, action="append", metavar="NODE",
-        help="crash this node for the whole run (repeatable; never root)",
+        help="crash this node for the whole run (repeatable; never root). "
+             "With --workers > 1 the id names a worker replica instead",
     )
     serve_bench.add_argument(
         "--fault-seed", type=int, default=None,

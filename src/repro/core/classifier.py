@@ -250,6 +250,52 @@ class HDClassifier:
         self._refresh_normalized()
         return self
 
+    def attach_model(
+        self,
+        class_hypervectors: np.ndarray,
+        normalized: np.ndarray,
+        packed: PackedBits,
+    ) -> "HDClassifier":
+        """Install pre-computed model views without copying.
+
+        The zero-copy counterpart of :meth:`set_model`, used by the
+        serving cluster: worker processes attach the class
+        hypervectors, the pre-normalized model and the bit-packed sign
+        model directly from a ``multiprocessing.shared_memory`` block
+        (see :class:`repro.serve.shard.SharedModelStore`). The arrays
+        are installed as-is — typically read-only views — so a worker
+        holds **no private copy** of any model matrix. Training entry
+        points (``retrain``/``update``) would attempt to write through
+        the views and fail on read-only memory; attached classifiers
+        are serve-only by construction.
+
+        All three representations must describe the *same* model: the
+        caller (the shard store) derives ``normalized`` and ``packed``
+        from ``class_hypervectors`` at publish time, exactly as
+        :meth:`_refresh_normalized` would.
+        """
+        model = np.asarray(class_hypervectors)
+        if model.shape != (self.n_classes, self.dimension):
+            raise ValueError(
+                f"class_hypervectors must have shape "
+                f"({self.n_classes}, {self.dimension}), got {model.shape}"
+            )
+        norm = np.asarray(normalized)
+        if norm.shape != model.shape:
+            raise ValueError(
+                f"normalized must have shape {model.shape}, got {norm.shape}"
+            )
+        if packed.n_rows != self.n_classes or packed.dimension != self.dimension:
+            raise ValueError(
+                f"packed model must cover {self.n_classes} classes of "
+                f"dimension {self.dimension}, got {packed.n_rows} rows of "
+                f"dimension {packed.dimension}"
+            )
+        self.class_hypervectors = model
+        self._normalized = norm
+        self._packed_model = packed
+        return self
+
     def retrain(
         self,
         encoded: np.ndarray,

@@ -122,9 +122,15 @@ def sign_binarize(a: np.ndarray, rng: np.random.Generator | None = None) -> np.n
     zeros = out == 0
     if np.any(zeros):
         if rng is None:
-            # Deterministic but value-dependent fallback: alternate signs.
+            # Deterministic fallback: alternate signs by position *within*
+            # the trailing axis. Keying on the last-axis index (not the
+            # flat index) makes each row's binarization independent of
+            # where it sits in the batch, so any row subset binarizes
+            # bit-identically to the full batch — the property the
+            # serving cluster and escalation-cohort walks rely on.
             idx = np.flatnonzero(zeros)
-            out.flat[idx] = np.where(idx % 2 == 0, 1, -1).astype(np.int8)
+            pos = idx % a.shape[-1] if a.ndim else idx
+            out.flat[idx] = np.where(pos % 2 == 0, 1, -1).astype(np.int8)
         else:
             out[zeros] = rng.choice(
                 np.array([-1, 1], dtype=np.int8), size=int(zeros.sum())

@@ -44,8 +44,11 @@ __all__ = [
     "PackedBits",
     "PackedSearchResult",
     "SearchStats",
+    "attach_packed",
     "calibrate_margin_threshold",
     "pack_bits",
+    "pack_bits_into",
+    "packed_nbytes",
     "unpack_bits",
     "popcount_u64",
     "packed_hamming",
@@ -129,6 +132,58 @@ def pack_bits(matrix: np.ndarray) -> PackedBits:
     if pad:
         packed = np.pad(packed, ((0, 0), (0, pad)))
     words = np.ascontiguousarray(packed).view(np.uint64)
+    return PackedBits(words=words, dimension=dimension)
+
+
+def packed_nbytes(n_rows: int, dimension: int) -> int:
+    """Bytes of the uint64 word matrix for ``n_rows`` packed rows.
+
+    The size contract shared by :func:`pack_bits_into` and
+    :func:`attach_packed`: callers placing packed models into shared
+    memory reserve exactly this many bytes per model.
+    """
+    if n_rows < 0:
+        raise ValueError(f"n_rows must be >= 0, got {n_rows}")
+    return n_rows * words_per_row(dimension) * (WORD_BITS // 8)
+
+
+def pack_bits_into(matrix: np.ndarray, out_words: np.ndarray) -> PackedBits:
+    """Pack ``matrix`` writing the words into a caller-owned buffer.
+
+    ``out_words`` must be a contiguous ``(n_rows, words_per_row)``
+    uint64 array — typically a view over a ``multiprocessing.
+    shared_memory`` block — so publishing a packed model into shared
+    memory needs no intermediate copy beyond the pack itself. Returns a
+    :class:`PackedBits` whose ``words`` *is* ``out_words``.
+    """
+    packed = pack_bits(matrix)
+    if out_words.shape != packed.words.shape or out_words.dtype != np.uint64:
+        raise ValueError(
+            f"out_words must be uint64 with shape {packed.words.shape}, "
+            f"got {out_words.dtype} with shape {out_words.shape}"
+        )
+    out_words[:] = packed.words
+    return PackedBits(words=out_words, dimension=packed.dimension)
+
+
+def attach_packed(
+    buffer, n_rows: int, dimension: int, offset: int = 0
+) -> PackedBits:
+    """Zero-copy :class:`PackedBits` view over an existing buffer.
+
+    ``buffer`` is any object exposing the buffer protocol — in the
+    serving cluster, the ``buf`` of an attached ``multiprocessing.
+    shared_memory`` block. The returned words array is a *view*: no
+    bytes are copied, and mutating the underlying buffer is visible to
+    every attached process (the cluster therefore marks its views
+    read-only). ``offset`` is in bytes from the start of the buffer.
+    """
+    if offset < 0:
+        raise ValueError(f"offset must be >= 0, got {offset}")
+    n_words = words_per_row(dimension)
+    words = np.frombuffer(
+        buffer, dtype=np.uint64, count=n_rows * n_words, offset=offset
+    ).reshape(n_rows, n_words)
     return PackedBits(words=words, dimension=dimension)
 
 

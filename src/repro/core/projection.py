@@ -91,6 +91,12 @@ class TernaryProjection:
         # input. Without it, projected values drown any un-projected
         # sibling hypervector they are later concatenated with.
         self._scale = 1.0 / np.sqrt(in_dimension * (1.0 - zero_fraction))
+        #: float64 transpose for BLAS, built on first projection. The
+        #: int8 `matrix` stays the source of truth (what ships to the
+        #: FPGA); converting per call would charge a full-matrix
+        #: upcast to every micro-batch, which dominates small-cohort
+        #: projections.
+        self._matrix_f64_t: np.ndarray | None = None
 
     def project(self, hypervectors: np.ndarray) -> np.ndarray:
         """Project (a batch of) concatenated hypervectors.
@@ -102,7 +108,12 @@ class TernaryProjection:
         arr = np.asarray(hypervectors)
         single = arr.ndim == 1
         mat = check_matrix("hypervectors", arr, cols=self.in_dimension)
-        projected = (mat @ self.matrix.T.astype(np.float64)) * self._scale
+        if self._matrix_f64_t is None:
+            # order='K' (astype default) keeps the transposed layout, so
+            # BLAS sees byte-identical operands to the uncached days and
+            # every projected value stays bit-identical.
+            self._matrix_f64_t = self.matrix.T.astype(np.float64)
+        projected = (mat @ self._matrix_f64_t) * self._scale
         out = sign_binarize(projected) if self.binarize else projected
         return out[0] if single else out
 

@@ -51,7 +51,12 @@ from repro.network.message import Message, MessageKind
 from repro.utils.rng import spawn_seeds
 from repro.utils.validation import check_labels, check_matrix
 
-__all__ = ["EdgeHDFederation", "FederatedTrainingReport", "batch_groups"]
+__all__ = [
+    "EdgeHDFederation",
+    "FederatedTrainingReport",
+    "LazyEncodings",
+    "batch_groups",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -251,6 +256,26 @@ class EdgeHDFederation:
                 )
         return own if view == "own" else forward
 
+    def encode_lazy(
+        self,
+        features: np.ndarray,
+        prefill: Optional[Dict[int, np.ndarray]] = None,
+    ) -> "LazyEncodings":
+        """Demand-driven :meth:`encode_all`: nodes encode on first access.
+
+        Returns a :class:`LazyEncodings` view over ``features`` that
+        computes each node's encoding (and, transitively, its subtree's
+        forwarded encodings) only when that node is actually looked up.
+        Confidence-gated escalation visits few internal nodes on most
+        batches, so callers that walk the hierarchy — inference, the
+        serving cluster workers — skip the bulk of the projection work
+        while producing bit-identical encodings for the nodes they do
+        touch. ``prefill`` seeds the cache with already-computed "own"
+        encodings (e.g. the start leaves a worker encoded up front).
+        """
+        mat = check_matrix("features", features, cols=self.partition.n_features)
+        return LazyEncodings(self, mat, prefill=prefill)
+
     def encode_at(
         self, node_id: int, features: np.ndarray, *, view: str = "own"
     ) -> np.ndarray:
@@ -440,3 +465,89 @@ class EdgeHDFederation:
     def root_id(self) -> int:
         assert self.hierarchy.root_id is not None
         return self.hierarchy.root_id
+
+
+class LazyEncodings:
+    """Memoized per-node hierarchical encodings of one feature batch.
+
+    Produced by :meth:`EdgeHDFederation.encode_lazy`. Node encodings are
+    computed with exactly the same per-node arithmetic as
+    :meth:`EdgeHDFederation.encode_all` — leaf slice encoding, children
+    forward concatenation, ternary projection — but only when a node is
+    first accessed, and each node at most once. Because every node's
+    encoding depends only on its own subtree (never on evaluation
+    order), the values are bit-identical to the eager path for whichever
+    subset of nodes a caller touches.
+    """
+
+    def __init__(
+        self,
+        federation: EdgeHDFederation,
+        mat: np.ndarray,
+        prefill: Optional[Dict[int, np.ndarray]] = None,
+    ) -> None:
+        self._federation = federation
+        self._mat = mat
+        self._own: Dict[int, np.ndarray] = {}
+        self._forward: Dict[int, np.ndarray] = {}
+        for node_id, encoded in (prefill or {}).items():
+            if node_id not in federation.hierarchy.nodes:
+                raise KeyError(f"prefill references unknown node {node_id}")
+            self._own[node_id] = encoded
+            node = federation.hierarchy.nodes[node_id]
+            # Mirror encode_all's forward view: leaves forward what they
+            # classify with; internal nodes forward the binarized copy.
+            if node.is_leaf:
+                self._forward[node_id] = encoded
+            elif federation.config.binarize:
+                self._forward[node_id] = sign_binarize(encoded)
+            else:
+                self._forward[node_id] = encoded
+
+    def own(self, node_id: int) -> np.ndarray:
+        """What ``node_id`` classifies with (raw values at internal nodes)."""
+        cached = self._own.get(node_id)
+        if cached is None:
+            self._materialize(node_id)
+            cached = self._own[node_id]
+        return cached
+
+    def forward(self, node_id: int) -> np.ndarray:
+        """What ``node_id`` transmits upward (binarized when configured)."""
+        cached = self._forward.get(node_id)
+        if cached is None:
+            self._materialize(node_id)
+            cached = self._forward[node_id]
+        return cached
+
+    def __getitem__(self, node_id: int) -> np.ndarray:
+        return self.own(node_id)
+
+    def materialized(self, node_id: int) -> bool:
+        """Whether ``node_id`` has already been encoded (no compute)."""
+        return node_id in self._own
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._federation.hierarchy.nodes
+
+    @property
+    def n_materialized(self) -> int:
+        """How many nodes have been encoded so far (for tests/telemetry)."""
+        return len(self._own)
+
+    def _materialize(self, node_id: int) -> None:
+        federation = self._federation
+        node = federation.hierarchy.nodes.get(node_id)
+        if node is None:
+            raise KeyError(f"unknown node {node_id}")
+        if node.is_leaf:
+            encoded = federation.encode_leaf(node_id, self._mat)
+            self._own[node_id] = encoded
+            self._forward[node_id] = encoded
+            return
+        children = [self.forward(child) for child in node.children]
+        raw = federation.combine_children(node_id, children, binarize=False)
+        self._own[node_id] = raw
+        self._forward[node_id] = (
+            sign_binarize(raw) if federation.config.binarize else raw
+        )

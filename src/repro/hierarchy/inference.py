@@ -48,6 +48,11 @@ class InferenceOutcome:
     #: end node where each query entered the system.
     start_leaf: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
     messages: List[Message] = field(default_factory=list)
+    #: queries escalated over each (child -> parent) edge; additive
+    #: across sub-batches, so the serving cluster can merge counts from
+    #: worker processes and rebuild the exact offline message list via
+    #: :meth:`HierarchicalInference.escalation_messages`.
+    escalations: Dict[tuple[int, int], int] = field(default_factory=dict)
 
     @property
     def total_bytes(self) -> int:
@@ -150,8 +155,9 @@ class HierarchicalInference:
         (leaf ids); by default queries are spread uniformly over the
         leaves. ``max_level`` caps escalation (e.g. 2 = stop at the
         gateways), used by the Fig. 11 level sweep. ``encodings`` may
-        pass precomputed ``encode_all(features)`` output to avoid
-        re-encoding.
+        pass precomputed ``encode_all(features)`` output (or any subset
+        of it, e.g. just the start leaves) to avoid re-encoding; nodes
+        missing from it are encoded on demand.
 
         The walk is batch-first: each node classifies its whole cohort
         of pending queries in one vectorized call (using the kernel
@@ -177,24 +183,45 @@ class HierarchicalInference:
                 raise ValueError(f"start_leaves contains non-leaf ids {unknown}")
         cap = self.effective_cap(max_level)
 
-        # Precompute encodings and predictions at every node for the
-        # whole batch (one vectorized associative search per node);
-        # the escalation walk below then advances whole cohorts of
-        # queries node-by-node instead of walking samples one at a
-        # time through a Python loop.
+        # Encodings and predictions are materialized lazily, whole
+        # batch at a time, the first time the walk reaches a node (one
+        # vectorized associative search per visited node). Confidence
+        # gating stops most queries at their entry leaf, so untouched
+        # subtrees are never encoded; the values computed for visited
+        # nodes are bit-identical to the eager encode-everything path.
         with obs.span("hierarchical_inference", n=n, cap=cap):
-            if encodings is None:
-                encodings = self.federation.encode_all(mat)
-            predictions = {
-                node_id: self.federation.classifiers[node_id].predict(
-                    enc, search=self.search
+            lazy = self.federation.encode_lazy(mat, prefill=encodings)
+            predictions: Dict[int, "PredictionResult"] = {}
+
+            def pred(node_id: int):
+                cached = predictions.get(node_id)
+                if cached is None:
+                    cached = self.federation.classifiers[node_id].predict(
+                        lazy.own(node_id), search=self.search
+                    )
+                    predictions[node_id] = cached
+                return cached
+
+            def cohort(node_id: int, rows: np.ndarray):
+                """(labels, confidence) for ``rows`` at ``node_id``.
+
+                Uses the whole-batch prediction when the node's encoding
+                is already in hand (prefilled leaves, repeat visits);
+                otherwise encodes just the cohort's rows, so an internal
+                node only pays for the queries that escalated to it.
+                """
+                if (
+                    rows.size == n
+                    or node_id in predictions
+                    or lazy.materialized(node_id)
+                ):
+                    decided = pred(node_id)
+                    return decided.labels[rows], decided.top_confidence[rows]
+                decided = self.federation.classifiers[node_id].predict(
+                    self.federation.encode_at(node_id, mat[rows]),
+                    search=self.search,
                 )
-                for node_id, enc in encodings.items()
-            }
-            top_conf = {
-                node_id: pred.top_confidence
-                for node_id, pred in predictions.items()
-            }
+                return decided.labels, decided.top_confidence
 
             #: queries escalated over each (child -> parent) edge.
             escalations: Dict[tuple[int, int], int] = {}
@@ -203,6 +230,8 @@ class HierarchicalInference:
             #: last decision-capable node each query visited; -1 until
             #: the cohort reaches its first node at level >= min_level.
             chosen = np.full(n, -1, dtype=np.int64)
+            best_label = np.empty(n, dtype=np.int64)
+            best_conf = np.empty(n, dtype=np.float64)
             pending = np.arange(n, dtype=np.int64)
             while pending.size:
                 advancing: list[np.ndarray] = []
@@ -229,10 +258,16 @@ class HierarchicalInference:
                         # per-sample walk did.
                         unseen = rows[chosen[rows] < 0]
                         if unseen.size:
-                            chosen[unseen] = hierarchy.root_id
+                            root = hierarchy.root_id
+                            lab, conf = cohort(root, unseen)
+                            chosen[unseen] = root
+                            best_label[unseen] = lab
+                            best_conf[unseen] = conf
                         continue
-                    conf = top_conf[node_id][rows]
+                    lab, conf = cohort(int(node_id), rows)
                     chosen[rows] = node_id
+                    best_label[rows] = lab
+                    best_conf[rows] = conf
                     done = conf >= self.confidence_threshold
                     if node.level == cap or parent is None:
                         continue
@@ -250,18 +285,16 @@ class HierarchicalInference:
                     else np.empty(0, dtype=np.int64)
                 )
 
-            # Gather per-query outputs from the deciding nodes' batch
-            # predictions, one vectorized pick per deciding node.
-            labels = np.empty(n, dtype=np.int64)
-            deciding_node = np.empty(n, dtype=np.int64)
+            # Per-query outputs were recorded at decision time (the walk
+            # predicts each cohort exactly once); only the level lookup
+            # remains.
+            labels = best_label
+            confidence = best_conf
+            deciding_node = chosen
             deciding_level = np.empty(n, dtype=np.int64)
-            confidence = np.empty(n, dtype=np.float64)
             for node_id in np.unique(chosen):
                 rows = np.flatnonzero(chosen == node_id)
-                labels[rows] = predictions[node_id].labels[rows]
-                deciding_node[rows] = node_id
                 deciding_level[rows] = hierarchy.nodes[node_id].level
-                confidence[rows] = top_conf[node_id][rows]
 
             messages = self.escalation_messages(escalations)
         if obs.enabled():
@@ -273,6 +306,7 @@ class HierarchicalInference:
             confidence=confidence,
             start_leaf=np.asarray(start_leaves, dtype=np.int64),
             messages=messages,
+            escalations=dict(escalations),
         )
 
     def _record_metrics(

@@ -22,6 +22,14 @@ dimension/block loss, node crash windows — and the runtime answers
 every request anyway via retry/backoff, per-hop timeouts, and degraded
 local answers (see the chaos benchmark and ``tests/test_serve_faults``).
 
+For throughput beyond one process, :class:`~repro.serve.cluster.
+ClusterRuntime` serves the same contract over a fleet of OS worker
+processes that attach read-only model replicas from a
+:class:`~repro.serve.shard.SharedModelStore` (zero copies, zero
+pickling) with consistent-hash request sharding, least-loaded replica
+selection and heartbeat-based eviction
+(:class:`~repro.serve.registry.ReplicaRegistry`).
+
 Quickstart::
 
     from repro.serve import ServeConfig, ServingRuntime, make_workload
@@ -35,7 +43,15 @@ Quickstart::
 """
 
 from repro.serve.batcher import MicroBatcher
+from repro.serve.cluster import (
+    ClusterConfig,
+    ClusterRuntime,
+    ConsistentHashRing,
+    WorkerSpec,
+)
 from repro.serve.faults import FaultPlan
+from repro.serve.registry import ReplicaInfo, ReplicaRegistry
+from repro.serve.shard import NodeLayout, SharedModelStore
 from repro.serve.queueing import (
     BoundedQueue,
     QueueStats,
@@ -71,10 +87,16 @@ from repro.serve.workload import (
 
 __all__ = [
     "BoundedQueue",
+    "ClusterConfig",
+    "ClusterRuntime",
+    "ConsistentHashRing",
     "FaultPlan",
     "MicroBatcher",
+    "NodeLayout",
     "QueueStats",
     "QueueTimeout",
+    "ReplicaInfo",
+    "ReplicaRegistry",
     "RequestTraceLog",
     "ServeConfig",
     "ServeRequest",
@@ -82,9 +104,11 @@ __all__ = [
     "ServeResult",
     "ServeWorkload",
     "ServingRuntime",
+    "SharedModelStore",
     "ShedError",
     "StageTimings",
     "TraceContext",
+    "WorkerSpec",
     "TraceEvent",
     "build_report",
     "load_request_trace",

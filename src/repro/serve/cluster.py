@@ -1,0 +1,948 @@
+"""Multi-process sharded serving cluster (router + worker replicas).
+
+The single-process :class:`~repro.serve.runtime.ServingRuntime`
+simulates the whole hierarchy inside one asyncio loop, which caps
+sustained throughput at what one GIL can encode and search. This module
+breaks that ceiling with real OS processes while keeping the paper's
+semantics exact:
+
+* a **router** (this process) admits the open-loop arrival schedule,
+  micro-batches requests per *shard*, and dispatches each batch to a
+  worker replica chosen by consistent-hash + least-loaded selection
+  (:class:`~repro.serve.registry.ReplicaRegistry`);
+* **workers** rebuild the federation's structure from seeds (encoders
+  and projections are deterministic), attach the learned models from a
+  :class:`~repro.serve.shard.SharedModelStore` — read-only, zero-copy,
+  never pickled — and replay the exact offline escalation walk
+  (:meth:`HierarchicalInference.run`) on their cohort;
+* a **heartbeat registry** evicts replicas that stop beating and the
+  router re-dispatches their outstanding batches, so a killed worker
+  (via :meth:`FaultPlan.validate_for_cluster` crash windows keyed by
+  *replica index*) is a first-class fault scenario. When the whole
+  fleet is down the router answers locally and marks responses
+  degraded.
+
+Sharding partitions the *request space*: a consistent-hash ring maps
+each start leaf to a shard, giving per-subtree batch affinity, while
+every replica holds the full shared model and can stand in for any
+shard. Because :meth:`HierarchicalInference.run` is per-query
+deterministic regardless of batch composition, and per-edge escalation
+counts are additive across cohorts, a ``workers=1`` cluster answers
+bit-identically to the offline walk — same labels, deciding nodes,
+levels and wire bytes.
+
+Wire/energy accounting is simulated exactly as the offline walk
+charges it (escalations climb *inside* a worker, not between
+processes): per-request escalation round-trips are added to reported
+latency without sleeping, and run totals come from the aggregated
+escalation counts via :meth:`HierarchicalInference.escalation_messages`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import logging
+import queue as queue_mod
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing as mp
+
+import numpy as np
+
+import repro.obs as obs
+from repro.config import EdgeHDConfig
+from repro.core.search import SearchSpec
+from repro.data.partition import FeaturePartition
+from repro.hierarchy.federation import EdgeHDFederation
+from repro.hierarchy.inference import HierarchicalInference
+from repro.hierarchy.topology import Hierarchy
+from repro.network.medium import Medium
+from repro.obs.registry import MetricsRegistry
+from repro.serve.faults import FaultPlan
+from repro.serve.registry import ReplicaRegistry
+from repro.serve.request import (
+    ServeResponse,
+    ServeResult,
+    StageTimings,
+)
+from repro.serve.runtime import _PREDICTION_BYTES, ServeConfig
+from repro.serve.shard import SharedModelStore
+from repro.serve.workload import ServeWorkload, poisson_arrivals
+
+__all__ = ["ClusterConfig", "ClusterRuntime", "ConsistentHashRing", "WorkerSpec"]
+
+logger = logging.getLogger(__name__)
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Process-topology tunables of the serving cluster."""
+
+    #: total worker processes (replicas) to spawn.
+    workers: int = 2
+    #: replicas per shard; ``n_shards = ceil(workers / replicas)``.
+    replicas_per_shard: int = 1
+    #: idle workers send a heartbeat this often.
+    heartbeat_interval_s: float = 0.05
+    #: replicas silent for longer than this are evicted and their
+    #: outstanding batches re-dispatched. Workers beat when idle *and*
+    #: at every batch start, so this only needs to exceed the slowest
+    #: single batch (a late beat resurrects the replica regardless).
+    heartbeat_timeout_s: float = 3.0
+    #: virtual points per shard on the consistent-hash ring.
+    hash_points: int = 64
+    #: multiprocessing start method (``None`` = fork when available,
+    #: else the platform default).
+    start_method: Optional[str] = None
+    #: max seconds to wait for every worker to attach and report ready.
+    ready_timeout_s: float = 60.0
+    #: max seconds to wait for workers to exit on close().
+    drain_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.replicas_per_shard < 1:
+            raise ValueError(
+                f"replicas_per_shard must be >= 1, got "
+                f"{self.replicas_per_shard}"
+            )
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be > 0")
+        if self.heartbeat_timeout_s <= self.heartbeat_interval_s:
+            raise ValueError(
+                "heartbeat_timeout_s must exceed heartbeat_interval_s"
+            )
+        if self.hash_points < 1:
+            raise ValueError(f"hash_points must be >= 1, got {self.hash_points}")
+        if self.ready_timeout_s <= 0 or self.drain_timeout_s <= 0:
+            raise ValueError("timeouts must be > 0")
+
+    @property
+    def n_shards(self) -> int:
+        return -(-self.workers // self.replicas_per_shard)
+
+
+# ----------------------------------------------------------------------
+# consistent hashing
+# ----------------------------------------------------------------------
+class ConsistentHashRing:
+    """Consistent-hash ring mapping keys (leaf ids) to shard ids.
+
+    Each shard owns ``points`` virtual positions (blake2b of
+    ``"shard:<id>:<point>"``); a key lands on the first position
+    clockwise of its own hash. Adding or removing a shard moves only
+    ~1/n of the key space, so scaling the worker fleet re-homes few
+    subtrees.
+    """
+
+    def __init__(self, shard_ids: Sequence[int], points: int = 64) -> None:
+        if not shard_ids:
+            raise ValueError("ring needs at least one shard")
+        if points < 1:
+            raise ValueError(f"points must be >= 1, got {points}")
+        entries = []
+        for shard_id in shard_ids:
+            for point in range(points):
+                entries.append((self._digest(f"shard:{shard_id}:{point}"), shard_id))
+        entries.sort()
+        self._hashes = [h for h, _ in entries]
+        self._shards = [s for _, s in entries]
+
+    @staticmethod
+    def _digest(key: str) -> int:
+        raw = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(raw, "big")
+
+    def lookup(self, key: int) -> int:
+        """Shard owning ``key`` (wraps around the ring)."""
+        h = self._digest(f"leaf:{key}")
+        idx = bisect.bisect_right(self._hashes, h)
+        if idx == len(self._hashes):
+            idx = 0
+        return self._shards[idx]
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to rebuild + attach its serving stack.
+
+    Deliberately model-free: the learned arrays travel via the
+    shared-memory ``manifest``; the rest is plain-data structure
+    (hierarchy, partition, config) from which encoders and projections
+    regenerate deterministically, exactly as
+    :mod:`repro.hierarchy.checkpoint` relies on.
+    """
+
+    hierarchy: Hierarchy
+    partition: FeaturePartition
+    n_classes: int
+    config: EdgeHDConfig
+    holographic: bool
+    confidence_threshold: float
+    compression_count: int
+    min_level: int
+    max_level: Optional[int]
+    search: SearchSpec
+    manifest: dict
+    replica_id: int
+    shard_id: int
+    heartbeat_interval_s: float
+    fault_plan: Optional[FaultPlan] = None
+
+
+def _worker_main(spec: WorkerSpec, task_q, result_q) -> None:
+    """Worker replica entry point (runs in a child process).
+
+    Protocol (result queue): ``("ready", id, zero_copy_report)`` once
+    attached; ``("hb", id, seq)`` while idle; ``("done", id, batch_id,
+    indices, labels, confidences, nodes, levels, escalation_triples,
+    encode_ms, search_ms)`` per batch; ``("error", id, traceback)`` on
+    failure; ``("bye", id, metrics_snapshot)`` on clean shutdown. A
+    fault-plan crash window for this replica index makes the process
+    vanish silently — no bye, no more heartbeats — which is exactly
+    what a ``kill -9`` looks like to the router.
+    """
+    t_start = time.monotonic()
+    store = None
+    metrics = MetricsRegistry()
+    labels = {"replica": str(spec.replica_id), "shard": str(spec.shard_id)}
+    try:
+        federation = EdgeHDFederation(
+            spec.hierarchy,
+            spec.partition,
+            spec.n_classes,
+            spec.config,
+            holographic=spec.holographic,
+        )
+        store = SharedModelStore.attach(spec.manifest)
+        report = store.install(federation)
+        inference = HierarchicalInference(
+            federation,
+            confidence_threshold=spec.confidence_threshold,
+            compression_count=spec.compression_count,
+            min_level=spec.min_level,
+            search=spec.search,
+        )
+        # Warm the BLAS / encoder paths before accepting traffic so the
+        # first real batch doesn't pay one-time setup cost.
+        warm = np.zeros((1, spec.partition.n_features))
+        leaf0 = spec.hierarchy.leaves()[0]
+        inference.run(
+            warm,
+            start_leaves=np.asarray([leaf0], dtype=np.int64),
+            max_level=spec.max_level,
+        )
+        result_q.put(("ready", spec.replica_id, report))
+        crash = (
+            spec.fault_plan.crash_windows.get(spec.replica_id)
+            if spec.fault_plan is not None
+            else None
+        )
+        seq = 0
+        while True:
+            if crash is not None and time.monotonic() - t_start >= crash[0]:
+                return  # simulated kill: vanish without a bye
+            try:
+                msg = task_q.get(timeout=spec.heartbeat_interval_s)
+            except queue_mod.Empty:
+                seq += 1
+                result_q.put(("hb", spec.replica_id, seq))
+                continue
+            if msg[0] == "stop":
+                break
+            _, batch_id, indices, rows, leaves = msg
+            # Renew the lease up front so a batch that takes a while to
+            # process doesn't read as a dead replica to the router.
+            seq += 1
+            result_q.put(("hb", spec.replica_id, seq))
+            # Encode only the entry leaves present in this batch
+            # eagerly (timed as the encode stage); escalation
+            # materializes internal-node encodings on demand inside
+            # ``run`` (timed as search). Confidence gating stops most
+            # queries at their leaf, so untouched subtrees are never
+            # projected — the bulk of the old encode-everything cost.
+            n_batch = len(indices)
+            leaves_arr = np.asarray(leaves, dtype=np.int64)
+            t0 = time.perf_counter()
+            encodings = {
+                int(leaf): federation.encode_leaf(int(leaf), rows)
+                for leaf in np.unique(leaves_arr)
+            }
+            t1 = time.perf_counter()
+            outcome = inference.run(
+                rows,
+                start_leaves=leaves_arr,
+                max_level=spec.max_level,
+                encodings=encodings,
+            )
+            t2 = time.perf_counter()
+            encode_s = t1 - t0
+            search_s = t2 - t1
+            out_labels = outcome.labels
+            out_confs = outcome.confidence
+            out_nodes = outcome.deciding_node
+            out_levels = outcome.deciding_level
+            batch_escalations = outcome.escalations
+            metrics.counter("cluster.worker.batches", labels).inc()
+            metrics.counter("cluster.worker.requests", labels).inc(n_batch)
+            metrics.counter(
+                "cluster.worker.escalated", labels
+            ).inc(sum(batch_escalations.values()))
+            result_q.put(
+                (
+                    "done",
+                    spec.replica_id,
+                    batch_id,
+                    indices,
+                    out_labels.tolist(),
+                    out_confs.tolist(),
+                    out_nodes.tolist(),
+                    out_levels.tolist(),
+                    [(c, p, n) for (c, p), n in batch_escalations.items()],
+                    encode_s * 1e3,
+                    search_s * 1e3,
+                )
+            )
+    except Exception:  # pragma: no cover - surfaced as a router error
+        import traceback
+
+        logger.exception("worker %d failed", spec.replica_id)
+        result_q.put(("error", spec.replica_id, traceback.format_exc()))
+        return
+    finally:
+        if store is not None:
+            store.close()
+    result_q.put(("bye", spec.replica_id, metrics.snapshot()))
+
+
+# ----------------------------------------------------------------------
+# router
+# ----------------------------------------------------------------------
+@dataclass
+class _Dispatch:
+    """Router-side record of one in-flight batch."""
+
+    batch_id: int
+    shard_id: int
+    replica_id: int
+    indices: List[int]
+    dispatched_wall: float
+
+
+class ClusterRuntime:
+    """Router over a fleet of shared-memory worker replicas.
+
+    Mirrors :class:`~repro.serve.runtime.ServingRuntime`'s contract —
+    same :class:`ServeConfig` knobs (max_batch / max_wait_ms /
+    queue_depth / policy / max_level / search), same
+    :class:`~repro.serve.request.ServeResult` output, same offline
+    message accounting — but executes requests on ``cluster.workers``
+    OS processes. Request tracing / flight recording stay a
+    single-process feature; per-worker metrics arrive as labeled
+    ``cluster.worker.*`` series merged into the global registry.
+
+    Use as a context manager (or call :meth:`start` / :meth:`close`):
+
+    >>> with ClusterRuntime(inference, medium, cfg, cluster) as rt:
+    ...     result = rt.serve_open_loop(workload, rate_rps=1500.0)
+    """
+
+    def __init__(
+        self,
+        inference: HierarchicalInference,
+        medium: Medium,
+        config: Optional[ServeConfig] = None,
+        cluster: Optional[ClusterConfig] = None,
+        media_by_level: Optional[Dict[int, Medium]] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.inference = inference
+        self.federation = inference.federation
+        self.hierarchy = self.federation.hierarchy
+        self.medium = medium
+        self.media_by_level = media_by_level or {}
+        self.config = config or ServeConfig()
+        self.cluster = cluster or ClusterConfig()
+        self.cap = inference.effective_cap(self.config.max_level)
+        self.search: SearchSpec = (
+            self.config.search
+            if self.config.search is not None
+            else inference.search
+        )
+        if fault_plan is not None:
+            fault_plan.validate_for_cluster(self.cluster.workers)
+        #: crash-only plan (or None); inert plans normalize to None.
+        self.plan: Optional[FaultPlan] = (
+            fault_plan if fault_plan is not None and fault_plan.active else None
+        )
+        self.ring = ConsistentHashRing(
+            range(self.cluster.n_shards), points=self.cluster.hash_points
+        )
+        #: leaf id -> shard id (the ring is stable, so cache it).
+        self.shard_of_leaf: Dict[int, int] = {
+            leaf: self.ring.lookup(leaf) for leaf in self.hierarchy.leaves()
+        }
+        self.registry = ReplicaRegistry(
+            heartbeat_timeout_s=self.cluster.heartbeat_timeout_s
+        )
+        self._edge_rtt_s = self._precompute_edge_rtt()
+        self._store: Optional[SharedModelStore] = None
+        self._procs: List[mp.process.BaseProcess] = []
+        self._task_qs: List = []
+        self._result_q = None
+        self._zero_copy_reports: Dict[int, dict] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Publish the shared store and spawn the worker fleet."""
+        if self._started:
+            return
+        method = self.cluster.start_method
+        if method is None:
+            method = (
+                "fork" if "fork" in mp.get_all_start_methods() else None
+            )
+        ctx = mp.get_context(method)
+        self._store = SharedModelStore.publish(self.federation)
+        manifest = self._store.manifest()
+        self._result_q = ctx.Queue()
+        self._task_qs = []
+        self._procs = []
+        for replica_id in range(self.cluster.workers):
+            shard_id = replica_id % self.cluster.n_shards
+            spec = WorkerSpec(
+                hierarchy=self.hierarchy,
+                partition=self.federation.partition,
+                n_classes=self.federation.n_classes,
+                config=self.federation.config,
+                holographic=self.federation.holographic,
+                confidence_threshold=self.inference.confidence_threshold,
+                compression_count=self.inference.compression_count,
+                min_level=self.inference.min_level,
+                max_level=self.config.max_level,
+                search=self.search,
+                manifest=manifest,
+                replica_id=replica_id,
+                shard_id=shard_id,
+                heartbeat_interval_s=self.cluster.heartbeat_interval_s,
+                fault_plan=self.plan,
+            )
+            task_q = ctx.Queue()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(spec, task_q, self._result_q),
+                daemon=True,
+                name=f"repro-worker-{replica_id}",
+            )
+            proc.start()
+            self._task_qs.append(task_q)
+            self._procs.append(proc)
+        deadline = time.monotonic() + self.cluster.ready_timeout_s
+        while len(self._zero_copy_reports) < self.cluster.workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.close()
+                raise RuntimeError(
+                    f"only {len(self._zero_copy_reports)} of "
+                    f"{self.cluster.workers} workers became ready within "
+                    f"{self.cluster.ready_timeout_s}s"
+                )
+            try:
+                msg = self._result_q.get(timeout=min(remaining, 0.25))
+            except queue_mod.Empty:
+                continue
+            if msg[0] == "error":
+                self.close()
+                raise RuntimeError(
+                    f"worker {msg[1]} failed to start:\n{msg[2]}"
+                )
+            if msg[0] == "ready":
+                replica_id, report = msg[1], msg[2]
+                self._zero_copy_reports[replica_id] = report
+                self.registry.register(
+                    replica_id,
+                    replica_id % self.cluster.n_shards,
+                    time.monotonic(),
+                )
+        self._started = True
+        logger.info(
+            "cluster: %d workers over %d shards ready (%.1f KiB shared)",
+            self.cluster.workers, self.cluster.n_shards,
+            (self._store.nbytes if self._store else 0) / 1024,
+        )
+
+    def close(self) -> None:
+        """Stop workers, collect their metrics, release shared memory."""
+        for task_q in self._task_qs:
+            try:
+                task_q.put(("stop",))
+            except (OSError, ValueError):  # pragma: no cover - queue broken
+                pass
+        deadline = time.monotonic() + self.cluster.drain_timeout_s
+        expect_bye = {
+            info.replica_id
+            for info in self.registry.replicas()
+            if info.healthy
+        } or set(self._zero_copy_reports)
+        byes: Dict[int, dict] = {}
+        while (
+            self._result_q is not None
+            and len(byes) < len(expect_bye)
+            and time.monotonic() < deadline
+        ):
+            try:
+                msg = self._result_q.get(timeout=0.1)
+            except queue_mod.Empty:
+                if not any(proc.is_alive() for proc in self._procs):
+                    break
+                continue
+            if msg[0] == "bye":
+                byes[msg[1]] = msg[2]
+        if obs.enabled():
+            registry = obs.get_registry()
+            for snapshot in byes.values():
+                scratch = MetricsRegistry()
+                scratch.load_snapshot(snapshot)
+                registry.merge(scratch)
+        for proc in self._procs:
+            proc.join(timeout=max(deadline - time.monotonic(), 0.1))
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for task_q in self._task_qs:
+            task_q.cancel_join_thread()
+            task_q.close()
+        if self._result_q is not None:
+            self._result_q.cancel_join_thread()
+            self._result_q.close()
+        self._task_qs = []
+        self._result_q = None
+        self._procs = []
+        if self._store is not None:
+            self._store.close()
+            self._store.unlink()
+            self._store = None
+        self._started = False
+
+    def __enter__(self) -> "ClusterRuntime":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @property
+    def zero_copy(self) -> bool:
+        """Did every worker attach without copying a model array?"""
+        return bool(self._zero_copy_reports) and all(
+            report.get("zero_copy", False)
+            for report in self._zero_copy_reports.values()
+        )
+
+    def topology(self) -> Dict[str, object]:
+        """Topology metadata recorded in every benchmark cell."""
+        return {
+            "workers": self.cluster.workers,
+            "replicas_per_shard": self.cluster.replicas_per_shard,
+            "n_shards": self.cluster.n_shards,
+            "shared_memory_bytes": self._store.nbytes if self._store else 0,
+            "evictions": self.registry.n_evicted,
+        }
+
+    # ------------------------------------------------------------------
+    # simulated escalation accounting
+    # ------------------------------------------------------------------
+    def _edge_medium(self, source: int, destination: int) -> Medium:
+        lower = min(
+            self.hierarchy.nodes[source].level,
+            self.hierarchy.nodes[destination].level,
+        )
+        return self.media_by_level.get(lower, self.medium)
+
+    def _precompute_edge_rtt(self) -> Dict[Tuple[int, int], float]:
+        """Per-(child, parent) simulated escalation round-trip seconds.
+
+        The uplink ships one compressed bundle sized for the parent's
+        input dimensionality; the downlink returns a prediction. The
+        walk itself runs inside one worker, so this cost is added to
+        reported latency without sleeping — the same modeling the
+        offline byte accounting uses.
+        """
+        from repro.core.compression import compressed_bundle_bytes
+
+        m = self.inference.compression_count
+        rtt: Dict[Tuple[int, int], float] = {}
+        for node_id, node in self.hierarchy.nodes.items():
+            parent = node.parent
+            if parent is None:
+                continue
+            parent_in_dim = sum(
+                self.hierarchy.nodes[c].dimension
+                for c in self.hierarchy.nodes[parent].children
+            )
+            medium = self._edge_medium(node_id, parent)
+            rtt[(node_id, parent)] = medium.transfer_time(
+                compressed_bundle_bytes(parent_in_dim, m)
+            ) + medium.transfer_time(_PREDICTION_BYTES)
+        return rtt
+
+    def _escalation_rtt_ms(self, start_leaf: int, deciding_node: int) -> float:
+        """Simulated climb latency from ``start_leaf`` to its decider."""
+        if deciding_node == start_leaf:
+            return 0.0
+        total = 0.0
+        path = self.hierarchy.path_to_root(start_leaf)
+        for child, parent in zip(path, path[1:]):
+            total += self._edge_rtt_s.get((child, parent), 0.0)
+            if parent == deciding_node:
+                break
+        return total * 1e3
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def serve_open_loop(
+        self,
+        workload: ServeWorkload,
+        rate_rps: float,
+        seed: int = 0,
+        arrivals: Optional[np.ndarray] = None,
+    ) -> ServeResult:
+        """Open-loop serving over the worker fleet.
+
+        Same contract as
+        :meth:`repro.serve.runtime.ServingRuntime.serve_open_loop`:
+        ``arrivals`` (absolute seconds) overrides the Poisson schedule
+        drawn at ``rate_rps`` from ``seed``.
+        """
+        if not self._started:
+            self.start()
+        n = len(workload)
+        if arrivals is None:
+            arrivals = poisson_arrivals(n, rate_rps, seed)
+        else:
+            arrivals = np.asarray(arrivals, dtype=np.float64)
+            if arrivals.shape != (n,):
+                raise ValueError(
+                    f"arrivals must have shape ({n},), got {arrivals.shape}"
+                )
+        order = np.argsort(arrivals, kind="stable")
+        cfg = self.config
+        max_wait_s = cfg.max_wait_ms / 1e3
+
+        responses: Dict[int, ServeResponse] = {}
+        escalations: Dict[Tuple[int, int], int] = {}
+        buffers: Dict[int, List[int]] = {
+            shard: [] for shard in range(self.cluster.n_shards)
+        }
+        buffer_open_wall: Dict[int, float] = {}
+        outstanding: Dict[int, _Dispatch] = {}
+        high_water: Dict[int, int] = {
+            shard: 0 for shard in range(self.cluster.n_shards)
+        }
+        n_shed_admission = 0
+        n_retries = 0
+        n_timeouts = 0
+        n_batches = 0
+        last_completion_wall: float
+
+        t0 = time.monotonic()
+        last_completion_wall = t0
+
+        def shard_pending(shard: int) -> int:
+            queued = len(buffers[shard])
+            in_flight = sum(
+                len(d.indices)
+                for d in outstanding.values()
+                if d.shard_id == shard
+            )
+            return queued + in_flight
+
+        def dispatch(shard: int, indices: List[int]) -> None:
+            nonlocal n_batches, last_completion_wall
+            info = self.registry.pick(shard)
+            if info is None:
+                # Whole fleet down: the router still owns the original
+                # federation, so it answers locally in degraded mode.
+                self._answer_locally(
+                    workload, indices, t0, arrivals, responses, escalations
+                )
+                last_completion_wall = time.monotonic()
+                return
+            batch_id = n_batches
+            n_batches += 1
+            rows = np.stack([workload.features[i] for i in indices])
+            leaves = [int(workload.start_leaves[i]) for i in indices]
+            self._task_qs[info.replica_id].put(
+                ("batch", batch_id, indices, rows, leaves)
+            )
+            self.registry.dispatch(info.replica_id, len(indices))
+            outstanding[batch_id] = _Dispatch(
+                batch_id=batch_id,
+                shard_id=shard,
+                replica_id=info.replica_id,
+                indices=indices,
+                dispatched_wall=time.monotonic(),
+            )
+
+        def flush(shard: int) -> None:
+            indices = buffers[shard]
+            if not indices:
+                return
+            buffers[shard] = []
+            buffer_open_wall.pop(shard, None)
+            dispatch(shard, indices)
+
+        arrival_ptr = 0
+        while len(responses) < n:
+            now = time.monotonic()
+            rel = now - t0
+            # 1. admit due arrivals into shard buffers
+            while arrival_ptr < n and arrivals[order[arrival_ptr]] <= rel:
+                idx = int(order[arrival_ptr])
+                arrival_ptr += 1
+                shard = self.shard_of_leaf[int(workload.start_leaves[idx])]
+                if (
+                    cfg.policy == "shed"
+                    and shard_pending(shard) >= cfg.queue_depth
+                ):
+                    n_shed_admission += 1
+                    responses[idx] = ServeResponse(
+                        index=idx,
+                        start_leaf=int(workload.start_leaves[idx]),
+                        label=-1,
+                        confidence=0.0,
+                        deciding_node=-1,
+                        deciding_level=-1,
+                        shed=True,
+                        timings=StageTimings(),
+                    )
+                    continue
+                if not buffers[shard]:
+                    buffer_open_wall[shard] = now
+                buffers[shard].append(idx)
+                high_water[shard] = max(high_water[shard], shard_pending(shard))
+                if len(buffers[shard]) >= cfg.max_batch:
+                    flush(shard)
+            # 2. flush batches whose wait window expired (or when no
+            #    arrivals remain — nothing more to coalesce with)
+            for shard in list(buffers):
+                if not buffers[shard]:
+                    continue
+                waited = now - buffer_open_wall.get(shard, now)
+                if waited >= max_wait_s or arrival_ptr >= n:
+                    flush(shard)
+            # 3. evict silent replicas, re-dispatch their batches
+            for info in self.registry.evict_stale(now):
+                n_timeouts += 1
+                stranded = [
+                    d for d in outstanding.values()
+                    if d.replica_id == info.replica_id
+                ]
+                logger.warning(
+                    "cluster: evicting replica %d (shard %d), "
+                    "re-dispatching %d batches",
+                    info.replica_id, info.shard_id, len(stranded),
+                )
+                if obs.enabled():
+                    obs.incr("cluster.evictions")
+                for d in stranded:
+                    del outstanding[d.batch_id]
+                    n_retries += len(d.indices)
+                    dispatch(d.shard_id, d.indices)
+            # 4. drain worker results (block briefly to avoid spinning)
+            timeout = self._drain_timeout(
+                arrival_ptr, n, order, arrivals, rel, buffer_open_wall,
+                t0, max_wait_s,
+            )
+            try:
+                assert self._result_q is not None
+                msg = self._result_q.get(timeout=timeout)
+            except queue_mod.Empty:
+                continue
+            while msg is not None:
+                done_wall = time.monotonic()
+                kind = msg[0]
+                if kind == "hb":
+                    self.registry.beat(msg[1], done_wall)
+                elif kind == "error":
+                    self.close()
+                    raise RuntimeError(f"worker {msg[1]} crashed:\n{msg[2]}")
+                elif kind == "done":
+                    (_, replica_id, batch_id, indices, labels, confs,
+                     nodes, levels, triples, encode_ms, search_ms) = msg
+                    self.registry.beat(replica_id, done_wall)
+                    d = outstanding.pop(batch_id, None)
+                    if d is not None:
+                        if replica_id in self.registry:
+                            self.registry.complete(replica_id, len(indices))
+                        for c, p, count in triples:
+                            edge = (int(c), int(p))
+                            escalations[edge] = (
+                                escalations.get(edge, 0) + int(count)
+                            )
+                        for pos, idx in enumerate(indices):
+                            arrival_wall = t0 + float(arrivals[idx])
+                            dispatch_wall = (
+                                d.dispatched_wall if d else done_wall
+                            )
+                            leaf = int(workload.start_leaves[idx])
+                            rtt_ms = self._escalation_rtt_ms(
+                                leaf, int(nodes[pos])
+                            )
+                            queue_wait_ms = max(
+                                (dispatch_wall - arrival_wall) * 1e3, 0.0
+                            )
+                            total_ms = (
+                                max((done_wall - arrival_wall) * 1e3, 0.0)
+                                + rtt_ms
+                            )
+                            responses[idx] = ServeResponse(
+                                index=idx,
+                                start_leaf=leaf,
+                                label=int(labels[pos]),
+                                confidence=float(confs[pos]),
+                                deciding_node=int(nodes[pos]),
+                                deciding_level=int(levels[pos]),
+                                shed=False,
+                                timings=StageTimings(
+                                    queue_wait_ms=queue_wait_ms,
+                                    encode_ms=float(encode_ms),
+                                    search_ms=float(search_ms),
+                                    escalation_rtt_ms=rtt_ms,
+                                    total_ms=total_ms,
+                                ),
+                            )
+                        last_completion_wall = done_wall
+                # "ready"/"bye" during a run: late re-registration is
+                # not supported; ignore.
+                try:
+                    assert self._result_q is not None
+                    msg = self._result_q.get_nowait()
+                except queue_mod.Empty:
+                    msg = None
+
+        makespan = max(last_completion_wall - t0, 0.0)
+        messages = self.inference.escalation_messages(escalations)
+        wire_bytes = sum(m.payload_bytes for m in messages)
+        energy_j = sum(
+            self._edge_medium(m.source, m.destination).transfer_energy(
+                m.payload_bytes
+            )
+            for m in messages
+        )
+        result = ServeResult(
+            responses=list(responses.values()),
+            makespan_s=makespan,
+            energy_j=energy_j,
+            wire_bytes=wire_bytes,
+            escalations=escalations,
+            n_shed_admission=n_shed_admission,
+            n_shed_escalation=0,
+            queue_high_water=high_water,
+            n_retries=n_retries,
+            n_timeouts=n_timeouts,
+            topology=self.topology(),
+        )
+        result._offline_messages = messages
+        logger.info(
+            "cluster serve: %d requests, %d answered, %d shed, "
+            "%d evictions, %.0f req/s",
+            result.n_total, result.n_answered, result.n_shed,
+            self.registry.n_evicted, result.throughput_rps,
+        )
+        return result
+
+    def _drain_timeout(
+        self,
+        arrival_ptr: int,
+        n: int,
+        order: np.ndarray,
+        arrivals: np.ndarray,
+        rel: float,
+        buffer_open_wall: Dict[int, float],
+        t0: float,
+        max_wait_s: float,
+    ) -> float:
+        """Longest the router may block on results without missing an
+        arrival admission or a batch-flush deadline."""
+        timeout = self.cluster.heartbeat_interval_s
+        if arrival_ptr < n:
+            timeout = min(
+                timeout, max(arrivals[order[arrival_ptr]] - rel, 0.0)
+            )
+        if buffer_open_wall:
+            next_flush = min(buffer_open_wall.values()) + max_wait_s
+            timeout = min(timeout, max(next_flush - (t0 + rel), 0.0))
+        return max(timeout, 1e-4)
+
+    def _answer_locally(
+        self,
+        workload: ServeWorkload,
+        indices: List[int],
+        t0: float,
+        arrivals: np.ndarray,
+        responses: Dict[int, ServeResponse],
+        escalations: Dict[Tuple[int, int], int],
+    ) -> None:
+        """Fleet-down fallback: the router runs the walk itself.
+
+        Answers are computed from the same models and are therefore
+        *correct*, but they are flagged degraded: the cluster failed to
+        provide the isolation/throughput it was asked for, and callers
+        (and ``degraded_rate``) should see that.
+        """
+        rows = np.stack([workload.features[i] for i in indices])
+        leaves = np.asarray(
+            [int(workload.start_leaves[i]) for i in indices], dtype=np.int64
+        )
+        t_enc = time.perf_counter()
+        outcome = self.inference.run(
+            rows, start_leaves=leaves, max_level=self.config.max_level
+        )
+        elapsed_ms = (time.perf_counter() - t_enc) * 1e3
+        done_wall = time.monotonic()
+        for edge, count in outcome.escalations.items():
+            escalations[edge] = escalations.get(edge, 0) + count
+        if obs.enabled():
+            obs.incr("cluster.local_fallback", len(indices))
+        for pos, idx in enumerate(indices):
+            leaf = int(leaves[pos])
+            rtt_ms = self._escalation_rtt_ms(
+                leaf, int(outcome.deciding_node[pos])
+            )
+            arrival_wall = t0 + float(arrivals[idx])
+            responses[idx] = ServeResponse(
+                index=idx,
+                start_leaf=leaf,
+                label=int(outcome.labels[pos]),
+                confidence=float(outcome.confidence[pos]),
+                deciding_node=int(outcome.deciding_node[pos]),
+                deciding_level=int(outcome.deciding_level[pos]),
+                shed=False,
+                degraded=True,
+                timings=StageTimings(
+                    queue_wait_ms=max(
+                        (done_wall - arrival_wall) * 1e3 - elapsed_ms, 0.0
+                    ),
+                    search_ms=elapsed_ms,
+                    escalation_rtt_ms=rtt_ms,
+                    total_ms=max((done_wall - arrival_wall) * 1e3, 0.0)
+                    + rtt_ms,
+                ),
+            )

@@ -221,6 +221,41 @@ class FaultPlan:
         return self.backoff_base_s * self.backoff_factor ** attempt
 
     # ------------------------------------------------------------------
+    def validate_for_cluster(self, n_replicas: int) -> None:
+        """Check this plan is usable by the multi-process cluster.
+
+        The cluster reinterprets :attr:`crash_windows` keys as *replica
+        indices* (a killed worker process), not hierarchy node ids —
+        the subsystem's first-class fault scenario. Only crash-style
+        plans are supported there: drop / jitter / corruption model the
+        wireless medium between simulated hierarchy nodes, which the
+        cluster executes inside one worker per request, so those knobs
+        would be silently meaningless. At least one replica must stay
+        outside every crash window so the fleet can finish the run.
+        """
+        if (
+            self.drop_probability > 0.0
+            or self.latency_jitter_s > 0.0
+            or self.corrupts_payload
+        ):
+            raise ValueError(
+                "cluster serving supports crash-only fault plans; "
+                "drop/jitter/corruption knobs apply to the single-process "
+                "runtime's simulated medium"
+            )
+        bad = [r for r in self.crash_windows if not 0 <= r < n_replicas]
+        if bad:
+            raise ValueError(
+                f"crash_windows names replica indices {bad} outside "
+                f"[0, {n_replicas})"
+            )
+        if len(self.crash_windows) >= n_replicas:
+            raise ValueError(
+                f"plan crashes all {n_replicas} replicas; at least one "
+                "must survive to drain the run"
+            )
+
+    # ------------------------------------------------------------------
     @staticmethod
     def sample_crashes(
         seed: SeedLike,

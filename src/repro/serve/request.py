@@ -126,6 +126,7 @@ class ServeResult:
         flight_events: Optional[List["FlightEvent"]] = None,
         telemetry: Optional["TelemetryLog"] = None,
         traces: Optional["RequestTraceLog"] = None,
+        topology: Optional[Dict[str, object]] = None,
     ) -> None:
         self.responses = sorted(responses, key=lambda r: r.index)
         self.makespan_s = float(makespan_s)
@@ -153,6 +154,12 @@ class ServeResult:
         self.telemetry = telemetry
         #: per-request trace-event log (None when tracing was disabled).
         self.traces = traces
+        #: runtime topology metadata: workers / replicas_per_shard /
+        #: n_shards / shared_memory_bytes (plus eviction counts for
+        #: cluster runs). ``{"workers": 1}``-style dict for the
+        #: single-process runtime; recorded per cell in
+        #: ``BENCH_serving.json``.
+        self.topology: Dict[str, object] = dict(topology or {"workers": 1})
 
     # ------------------------------------------------------------------
     @property
@@ -306,5 +313,14 @@ class ServeResult:
                 f"faults: degraded {self.n_degraded} "
                 f"({self.degraded_rate:.1%})  retries {self.n_retries}  "
                 f"timeouts {self.n_timeouts}"
+            )
+        workers = self.topology.get("workers", 1)
+        if isinstance(workers, int) and workers > 1:
+            lines.append(
+                f"cluster: {workers} workers over "
+                f"{self.topology.get('n_shards', '?')} shards "
+                f"(x{self.topology.get('replicas_per_shard', '?')} replicas)  "
+                f"shared model: "
+                f"{int(self.topology.get('shared_memory_bytes', 0)) / 1024:.1f} KiB"
             )
         return "\n".join(lines)

@@ -738,6 +738,12 @@ class ServingRuntime:
             flight_events=self.flight.events() if tracing else None,
             telemetry=self.telemetry,
             traces=self.trace_log if tracing else None,
+            topology={
+                "workers": 1,
+                "replicas_per_shard": 1,
+                "n_shards": 1,
+                "shared_memory_bytes": 0,
+            },
         )
         # Offline-comparable message list (aggregated bundle math).
         result._offline_messages = self.inference.escalation_messages(
@@ -843,9 +849,18 @@ class ServingRuntime:
         timeout_s = plan.hop_timeout_s if plan is not None else None
         for req in cohort:
             req.enqueued_s = loop.time()
+            # Charge the edge *before* the put: once the request is in
+            # the destination inbox the batcher may classify it on any
+            # scheduler tick, and damage replay keys off charged_path —
+            # appending after the await races the consumer. The failure
+            # arms below un-charge it (the consumer never saw it).
+            if via_edge is not None:
+                req.charged_path.append(via_edge)
             try:
                 await queue.put(req, timeout_s=timeout_s)
             except ShedError:
+                if via_edge is not None:
+                    req.charged_path.pop()
                 self.n_shed_escalation += 1
                 if req.trace is not None:
                     req.trace.emit(
@@ -865,6 +880,8 @@ class ServingRuntime:
                                  level=-1, shed=True)
                 continue
             except QueueTimeout:
+                if via_edge is not None:
+                    req.charged_path.pop()
                 self.n_timeouts += 1
                 self.timeouts_by_node[destination] = (
                     self.timeouts_by_node.get(destination, 0) + 1
@@ -899,8 +916,6 @@ class ServingRuntime:
                     self._finish(req, label=-1, confidence=0.0, node=-1,
                                  level=-1, shed=False, degraded=True)
                 continue
-            if via_edge is not None:
-                req.charged_path.append(via_edge)
 
     def _degrade_cohort(
         self,

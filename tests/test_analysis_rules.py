@@ -548,10 +548,71 @@ class TestLegacyBackendString:
         assert findings == []
 
 
+class TestProcessBoundary:
+    def test_fires_on_plain_import(self):
+        findings = findings_for(
+            """
+            import multiprocessing
+
+            def spawn():
+                return multiprocessing.Process(target=print)
+            """
+        )
+        assert rule_ids(findings) == ["REPRO110"]
+        assert "cluster" in findings[0].autofix_hint
+
+    def test_fires_on_shared_memory_import(self):
+        findings = findings_for(
+            """
+            from multiprocessing import shared_memory
+            shm = shared_memory.SharedMemory(create=True, size=8)
+            """
+        )
+        assert rule_ids(findings) == ["REPRO110"]
+
+    def test_fires_on_submodule_from_import(self):
+        findings = findings_for(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+            """,
+            path="src/repro/serve/runtime.py",
+        )
+        assert rule_ids(findings) == ["REPRO110"]
+
+    def test_cluster_module_is_allowed(self):
+        findings = findings_for(
+            """
+            import multiprocessing
+            from multiprocessing import shared_memory
+            """,
+            path="src/repro/serve/cluster.py",
+        )
+        assert findings == []
+
+    def test_shard_and_kernels_modules_are_allowed(self):
+        source = """
+            from multiprocessing import shared_memory
+            """
+        for path in (
+            "src/repro/serve/shard.py",
+            "src/repro/core/kernels.py",
+        ):
+            assert findings_for(source, path=path) == []
+
+    def test_unrelated_imports_do_not_fire(self):
+        findings = findings_for(
+            """
+            import multiprocessing_utils
+            from concurrent.futures import ProcessPoolExecutor
+            """
+        )
+        assert findings == []
+
+
 class TestRuleRegistry:
-    def test_nine_rules_with_unique_ids(self):
+    def test_ten_rules_with_unique_ids(self):
         ids = [rule.rule_id for rule in DEFAULT_RULES]
-        assert len(ids) == len(set(ids)) == 9
+        assert len(ids) == len(set(ids)) == 10
         assert set(RULE_INDEX) == set(ids)
 
     def test_every_rule_documents_itself(self):

@@ -176,7 +176,7 @@ class TestPackedObservability:
         obs.enable()
         try:
             before = obs.snapshot()
-            inference.run(data.test_x[:64], seed=7)
+            outcome = inference.run(data.test_x[:64], seed=7)
             after = obs.snapshot()
         finally:
             if not was_enabled:
@@ -188,8 +188,12 @@ class TestPackedObservability:
         delta = value(after, "core.similarity.packed_queries") - value(
             before, "core.similarity.packed_queries"
         )
-        # Every node classifies the whole batch once in the packed path.
-        assert delta == 64 * len(federation.classifiers)
+        # The cohort walk classifies each query once at its entry node
+        # plus once per escalation hop — never the whole batch at every
+        # node.
+        expected = 64 + sum(outcome.escalations.values())
+        assert delta == expected
+        assert delta < 64 * len(federation.classifiers)
         assert value(after, "core.similarity.queries") >= value(
             before, "core.similarity.queries"
         ) + delta

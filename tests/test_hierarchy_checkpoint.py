@@ -95,3 +95,69 @@ class TestValidation:
         np.savez_compressed(str(path), node_0=np.ones((2, 4)))
         with pytest.raises(CheckpointError, match="metadata"):
             load_federation(fresh(data, partition, config), path)
+
+
+class TestPackedRoundtrip:
+    """Binarized / packed models survive save -> load bit-exactly.
+
+    The serving cluster publishes the packed sign model into shared
+    memory straight from the checkpointed class hypervectors, so a
+    single flipped bit here would silently change every worker's
+    associative search.
+    """
+
+    def _binarized(self, trained, tmp_path, tag):
+        data, partition, config, federation = trained
+        path = tmp_path / f"{tag}.npz"
+        save_federation(federation, path)
+        restored = load_federation(fresh(data, partition, config), path)
+        for clf in restored.classifiers.values():
+            clf.binarize_model()
+        return data, partition, config, restored
+
+    def test_binarized_round_trip_bit_exact(self, trained, tmp_path):
+        data, partition, config, binarized = self._binarized(
+            trained, tmp_path, "base"
+        )
+        path = tmp_path / "binarized.npz"
+        save_federation(binarized, path)
+        reloaded = load_federation(fresh(data, partition, config), path)
+        for nid in binarized.hierarchy.nodes:
+            original = binarized.classifiers[nid].class_hypervectors
+            loaded = reloaded.classifiers[nid].class_hypervectors
+            assert loaded.dtype == original.dtype
+            assert np.array_equal(loaded, original)
+            assert set(np.unique(loaded)) <= {-1.0, 1.0}
+
+    def test_packed_words_round_trip_bit_exact(self, trained, tmp_path):
+        from repro.core.kernels import pack_bits
+
+        data, partition, config, binarized = self._binarized(
+            trained, tmp_path, "base"
+        )
+        path = tmp_path / "binarized.npz"
+        save_federation(binarized, path)
+        reloaded = load_federation(fresh(data, partition, config), path)
+        for nid in binarized.hierarchy.nodes:
+            before = pack_bits(binarized.classifiers[nid].class_hypervectors)
+            after = pack_bits(reloaded.classifiers[nid].class_hypervectors)
+            assert np.array_equal(before.words, after.words)
+            assert before.dimension == after.dimension
+
+    def test_packed_predictions_identical_after_reload(self, trained, tmp_path):
+        from repro.core.search import SearchSpec
+
+        data, partition, config, binarized = self._binarized(
+            trained, tmp_path, "base"
+        )
+        path = tmp_path / "binarized.npz"
+        save_federation(binarized, path)
+        reloaded = load_federation(fresh(data, partition, config), path)
+        spec = SearchSpec(backend="packed")
+        encodings = binarized.encode_all(data.test_x[:64])
+        for nid, enc in encodings.items():
+            before = binarized.classifiers[nid].predict(enc, search=spec)
+            after = reloaded.classifiers[nid].predict(enc, search=spec)
+            assert np.array_equal(before.labels, after.labels)
+            # packed similarities are integer Hamming scores: bit-equal
+            assert np.array_equal(before.top_confidence, after.top_confidence)

@@ -1,0 +1,392 @@
+"""Tests for the multi-process sharded serving cluster.
+
+Three layers, in increasing weight:
+
+* pure in-process units — :class:`ReplicaRegistry` selection/eviction/
+  resurrection policy, :class:`ConsistentHashRing` determinism,
+  :class:`ClusterConfig` validation, crash-only fault-plan gating;
+* shared-memory plumbing — :class:`SharedModelStore` publish → attach →
+  install round-trips inside one process, including the zero-copy
+  assertion the issue pins (worker model arrays are *views* over the
+  shared segment, never copies);
+* end-to-end fleets — real worker processes serving a workload with
+  answers bit-identical to the offline ``HierarchicalInference.run``
+  walk, plus a killed-worker scenario where eviction + re-dispatch
+  still answers every request correctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hierarchy import HierarchicalInference
+from repro.network.medium import get_medium
+from repro.serve import (
+    ClusterConfig,
+    ClusterRuntime,
+    ConsistentHashRing,
+    FaultPlan,
+    ReplicaRegistry,
+    ServeConfig,
+    SharedModelStore,
+    make_workload,
+)
+
+
+def _msg_key(m):
+    return (m.source, m.destination, m.kind, m.payload_bytes)
+
+
+@pytest.fixture(scope="module")
+def cluster_setup(trained_federation):
+    federation, _, data = trained_federation
+    inference = HierarchicalInference(federation, confidence_threshold=0.7)
+    workload = make_workload(
+        data.test_x, inference, seed=3, labels=data.test_y
+    )
+    offline = inference.run(
+        data.test_x, start_leaves=workload.start_leaves
+    )
+    return inference, workload, offline, data
+
+
+def assert_matches_offline(result, offline):
+    out = result.to_outcome()
+    assert np.array_equal(out.labels, offline.labels)
+    assert np.array_equal(out.deciding_node, offline.deciding_node)
+    assert np.array_equal(out.deciding_level, offline.deciding_level)
+    assert np.array_equal(out.start_leaf, offline.start_leaf)
+    assert np.allclose(out.confidence, offline.confidence)
+    assert sorted(map(_msg_key, out.messages)) == sorted(
+        map(_msg_key, offline.messages)
+    )
+    assert out.total_bytes == offline.total_bytes
+
+
+# ----------------------------------------------------------------------
+# replica registry
+# ----------------------------------------------------------------------
+class TestReplicaRegistry:
+    def test_register_and_duplicate_rejected(self):
+        reg = ReplicaRegistry()
+        reg.register(0, 0, now=1.0)
+        assert 0 in reg and len(reg) == 1
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register(0, 1, now=2.0)
+
+    def test_evicts_only_stale_replicas(self):
+        reg = ReplicaRegistry(heartbeat_timeout_s=1.0)
+        reg.register(0, 0, now=0.0)
+        reg.register(1, 0, now=0.0)
+        reg.beat(1, now=2.0)
+        evicted = reg.evict_stale(now=2.5)
+        assert [info.replica_id for info in evicted] == [0]
+        assert reg.n_evicted == 1
+        assert not reg.get(0).healthy and reg.get(1).healthy
+        # already-evicted replicas are not evicted twice
+        assert reg.evict_stale(now=10.0) == [reg.get(1)]
+
+    def test_beat_resurrects_evicted_replica(self):
+        reg = ReplicaRegistry(heartbeat_timeout_s=1.0)
+        reg.register(0, 0, now=0.0)
+        reg.dispatch(0, 8)
+        assert reg.evict_stale(now=5.0)
+        assert reg.pick(0) is None
+        # the worker was slow, not dead: a late beat brings it back
+        # with an empty in-flight count (its batches were re-dispatched)
+        assert reg.beat(0, now=5.5) is True
+        info = reg.get(0)
+        assert info.healthy and info.in_flight == 0
+        assert reg.n_resurrected == 1
+        assert reg.pick(0) is info
+
+    def test_pick_prefers_least_loaded_home_replica(self):
+        reg = ReplicaRegistry()
+        reg.register(0, 0, now=0.0)
+        reg.register(1, 0, now=0.0)
+        reg.register(2, 1, now=0.0)
+        reg.dispatch(0, 5)
+        assert reg.pick(0).replica_id == 1
+        reg.dispatch(1, 5)
+        # tie on in_flight breaks on lowest replica id
+        assert reg.pick(0).replica_id == 0
+
+    def test_pick_falls_back_across_shards(self):
+        reg = ReplicaRegistry()
+        reg.register(0, 0, now=0.0)
+        reg.register(1, 1, now=0.0)
+        reg.mark_unhealthy(0)
+        assert reg.pick(0).replica_id == 1
+        reg.mark_unhealthy(1)
+        assert reg.pick(0) is None
+
+    def test_complete_clamps_and_counts(self):
+        reg = ReplicaRegistry()
+        reg.register(0, 0, now=0.0)
+        reg.dispatch(0, 3)
+        reg.complete(0, 5)
+        info = reg.get(0)
+        assert info.in_flight == 0
+        assert info.n_dispatched == 3 and info.n_completed == 5
+
+    def test_summary_is_json_safe(self):
+        import json
+
+        reg = ReplicaRegistry()
+        reg.register(0, 0, now=0.0)
+        reg.mark_unhealthy(0)
+        summary = json.loads(json.dumps(reg.summary()))
+        assert summary["n_replicas"] == 1
+        assert summary["n_healthy"] == 0
+        assert summary["n_evicted"] == 1
+        assert summary["n_resurrected"] == 0
+
+
+# ----------------------------------------------------------------------
+# consistent-hash ring / config validation
+# ----------------------------------------------------------------------
+class TestConsistentHashRing:
+    def test_lookup_is_deterministic_and_total(self):
+        ring = ConsistentHashRing(range(4))
+        first = [ring.lookup(leaf) for leaf in range(32)]
+        again = [ring.lookup(leaf) for leaf in range(32)]
+        assert first == again
+        assert set(first) <= set(range(4))
+
+    def test_all_shards_receive_keys(self):
+        ring = ConsistentHashRing(range(4), points=64)
+        owners = {ring.lookup(key) for key in range(256)}
+        assert owners == set(range(4))
+
+    def test_single_shard_owns_everything(self):
+        ring = ConsistentHashRing([7])
+        assert {ring.lookup(k) for k in range(16)} == {7}
+
+
+class TestClusterConfig:
+    def test_n_shards_rounds_up(self):
+        assert ClusterConfig(workers=4, replicas_per_shard=1).n_shards == 4
+        assert ClusterConfig(workers=4, replicas_per_shard=2).n_shards == 2
+        assert ClusterConfig(workers=5, replicas_per_shard=2).n_shards == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"replicas_per_shard": 0},
+            {"heartbeat_interval_s": 0.0},
+            {"heartbeat_interval_s": 2.0, "heartbeat_timeout_s": 1.0},
+            {"hash_points": 0},
+            {"ready_timeout_s": 0.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusterConfig(**kwargs)
+
+
+class TestFaultPlanClusterValidation:
+    def test_crash_only_plans_accepted(self):
+        FaultPlan(crash_windows={0: (0.1, 1.0)}).validate_for_cluster(2)
+
+    def test_non_crash_knobs_rejected(self):
+        plan = FaultPlan(drop_probability=0.5)
+        with pytest.raises(ValueError, match="crash-only"):
+            plan.validate_for_cluster(2)
+
+    def test_replica_index_out_of_range_rejected(self):
+        plan = FaultPlan(crash_windows={3: (0.0, 1.0)})
+        with pytest.raises(ValueError):
+            plan.validate_for_cluster(2)
+
+    def test_whole_fleet_crash_rejected(self):
+        plan = FaultPlan(crash_windows={0: (0.0, 1.0), 1: (0.0, 1.0)})
+        with pytest.raises(ValueError, match="at least one"):
+            plan.validate_for_cluster(2)
+
+
+# ----------------------------------------------------------------------
+# shared-memory model store
+# ----------------------------------------------------------------------
+class TestSharedModelStore:
+    def test_publish_attach_round_trip(self, trained_federation):
+        federation, _, _ = trained_federation
+        with SharedModelStore.publish(federation) as store:
+            manifest = store.manifest()
+            assert manifest["format_version"] == 1
+            assert set(manifest["nodes"]) == {
+                str(node_id) for node_id in federation.hierarchy.nodes
+            }
+            attached = SharedModelStore.attach(manifest)
+            try:
+                for node_id, clf in federation.classifiers.items():
+                    model, normalized, packed = attached.node_views(node_id)
+                    assert np.array_equal(model, clf.class_hypervectors)
+                    assert model.flags.writeable is False
+            finally:
+                attached.close()
+
+    def test_install_is_zero_copy(self, trained_federation, apri_small,
+                                  small_config):
+        """The issue's acceptance bar: workers attach the packed model
+        shards as shared-memory views — zero per-worker copies."""
+        from repro.data import partition_features
+        from repro.hierarchy import EdgeHDFederation, build_tree
+
+        federation, _, _ = trained_federation
+        with SharedModelStore.publish(federation) as store:
+            replica = EdgeHDFederation(
+                federation.hierarchy,
+                federation.partition,
+                federation.n_classes,
+                small_config,
+            )
+            attached = SharedModelStore.attach(store.manifest())
+            try:
+                report = attached.install(replica)
+                assert report["zero_copy"] is True
+                assert report["nodes"] == len(federation.hierarchy.nodes)
+                for node_id, clf in replica.classifiers.items():
+                    model = clf.class_hypervectors
+                    # a view over the shared segment, not an owned copy
+                    assert model.flags.owndata is False
+                    probe, _, _ = attached.node_views(node_id)
+                    assert np.shares_memory(model, probe)
+                    assert np.array_equal(
+                        model,
+                        federation.classifiers[node_id].class_hypervectors,
+                    )
+            finally:
+                attached.close()
+
+    def test_attach_rejects_tampered_manifest(self, trained_federation):
+        federation, _, _ = trained_federation
+        with SharedModelStore.publish(federation) as store:
+            manifest = store.manifest()
+            bad = dict(manifest, name="psm_does_not_exist")
+            with pytest.raises(FileNotFoundError):
+                SharedModelStore.attach(bad)
+
+
+# ----------------------------------------------------------------------
+# end-to-end worker fleets
+# ----------------------------------------------------------------------
+class TestClusterServing:
+    def test_single_worker_matches_offline(self, cluster_setup):
+        inference, workload, offline, _ = cluster_setup
+        with ClusterRuntime(
+            inference,
+            get_medium("wired-1gbps"),
+            ServeConfig(max_batch=16, max_wait_ms=1.0, queue_depth=512),
+            cluster=ClusterConfig(workers=1),
+        ) as runtime:
+            assert runtime.zero_copy
+            result = runtime.serve_open_loop(workload, rate_rps=2000.0, seed=1)
+        assert_matches_offline(result, offline)
+        assert result.topology["workers"] == 1
+        assert result.degraded_rate == 0.0
+
+    def test_two_worker_fleet_matches_offline(self, cluster_setup):
+        inference, workload, offline, _ = cluster_setup
+        with ClusterRuntime(
+            inference,
+            get_medium("wired-1gbps"),
+            ServeConfig(max_batch=16, max_wait_ms=1.0, queue_depth=512),
+            cluster=ClusterConfig(workers=2),
+        ) as runtime:
+            assert runtime.zero_copy
+            result = runtime.serve_open_loop(workload, rate_rps=2000.0, seed=1)
+            topology = runtime.topology()
+        assert_matches_offline(result, offline)
+        assert topology["workers"] == 2
+        assert topology["n_shards"] == 2
+        assert topology["shared_memory_bytes"] > 0
+        # every worker answered something (consistent-hash spread)
+        per_replica = [
+            info.n_completed for info in runtime.registry.replicas()
+        ]
+        assert sum(per_replica) >= result.n_answered - result.n_retries
+
+    def test_killed_worker_is_evicted_and_work_redispatched(
+        self, cluster_setup
+    ):
+        inference, workload, offline, _ = cluster_setup
+        plan = FaultPlan(crash_windows={0: (0.0, float("inf"))})
+        with ClusterRuntime(
+            inference,
+            get_medium("wired-1gbps"),
+            ServeConfig(max_batch=16, max_wait_ms=1.0, queue_depth=512),
+            cluster=ClusterConfig(
+                workers=2,
+                heartbeat_interval_s=0.02,
+                heartbeat_timeout_s=0.3,
+            ),
+            fault_plan=plan,
+        ) as runtime:
+            result = runtime.serve_open_loop(workload, rate_rps=2000.0, seed=1)
+            evicted = runtime.registry.n_evicted
+        assert evicted >= 1
+        assert result.n_answered == len(workload)
+        out = result.to_outcome()
+        assert np.array_equal(out.labels, offline.labels)
+        assert np.array_equal(out.deciding_node, offline.deciding_node)
+
+    def test_local_fallback_answers_degraded(self, cluster_setup):
+        """Fleet-down path: the router's own walk answers correctly but
+        flags every response degraded (exercised without processes)."""
+        inference, workload, offline, _ = cluster_setup
+        runtime = ClusterRuntime(
+            inference, get_medium("wired-1gbps"), ServeConfig()
+        )
+        n = min(8, len(workload))
+        indices = list(range(n))
+        responses: dict = {}
+        escalations: dict = {}
+        runtime._answer_locally(
+            workload, indices, 0.0, np.zeros(len(workload)),
+            responses, escalations,
+        )
+        assert sorted(responses) == indices
+        for idx in indices:
+            assert responses[idx].degraded is True
+            assert responses[idx].label == int(offline.labels[idx])
+
+
+class TestLazyEncodings:
+    def test_lazy_matches_eager_bitwise(self, trained_federation):
+        federation, _, data = trained_federation
+        rows = data.test_x[:16]
+        eager = federation.encode_all(rows)
+        lazy = federation.encode_lazy(rows)
+        assert lazy.n_materialized == 0
+        for node_id, encoded in eager.items():
+            assert np.array_equal(lazy.own(node_id), encoded)
+        assert lazy.n_materialized == len(eager)
+
+    def test_only_touched_subtree_materializes(self, trained_federation):
+        federation, _, data = trained_federation
+        lazy = federation.encode_lazy(data.test_x[:4])
+        leaf = federation.hierarchy.leaves()[0]
+        lazy.own(leaf)
+        assert lazy.n_materialized == 1
+
+    def test_prefill_seeds_the_cache(self, trained_federation):
+        federation, _, data = trained_federation
+        rows = data.test_x[:4]
+        leaf = federation.hierarchy.leaves()[0]
+        seeded = federation.encode_lazy(
+            rows, prefill={leaf: federation.encode_leaf(leaf, rows)}
+        )
+        assert seeded.n_materialized == 1
+        assert np.array_equal(
+            seeded.own(leaf), federation.encode_all(rows)[leaf]
+        )
+
+    def test_unknown_node_rejected(self, trained_federation):
+        federation, _, data = trained_federation
+        lazy = federation.encode_lazy(data.test_x[:2])
+        with pytest.raises(KeyError):
+            lazy.own(10_000)
+        with pytest.raises(KeyError):
+            federation.encode_lazy(data.test_x[:2], prefill={10_000: None})
