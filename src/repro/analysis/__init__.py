@@ -34,6 +34,15 @@ from repro.analysis.engine import (
     LintEngine,
     Rule,
 )
+from repro.analysis.flow import (
+    FLOW_RULE_IDS,
+    AwaitBoundaryRaceRule,
+    ControlFlowGraph,
+    RngTagCollisionRule,
+    SharedMemoryWriteRule,
+    build_cfg,
+    flow_rules,
+)
 from repro.analysis.reporters import render_json, render_text, summarize
 from repro.analysis.rules import (
     DEFAULT_RULES,
@@ -59,7 +68,11 @@ __all__ = [
     "SEVERITIES",
     "DEFAULT_RULES",
     "RULE_INDEX",
+    "FLOW_RULE_IDS",
     "default_rules",
+    "flow_rules",
+    "build_cfg",
+    "ControlFlowGraph",
     "select_rules",
     "lint_paths",
     "lint_source",
@@ -75,18 +88,24 @@ __all__ = [
     "SilentBroadExceptRule",
     "UnvalidatedArrayApiRule",
     "LegacyBackendStringRule",
+    "AwaitBoundaryRaceRule",
+    "SharedMemoryWriteRule",
+    "RngTagCollisionRule",
 ]
 
 
 def select_rules(
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    flow: bool = False,
 ) -> List[Rule]:
     """Instantiate the default rules filtered by id.
 
     ``select`` keeps only the named rules; ``ignore`` drops the named
     ones; both accept ids case-insensitively. Unknown ids raise so a
-    typo cannot silently disable enforcement.
+    typo cannot silently disable enforcement. ``flow=True`` adds the
+    dataflow rules (REPRO111-113); naming a dataflow rule in
+    ``select`` enables it without the flag.
     """
     known = {rid.upper() for rid in RULE_INDEX}
     for group in (select or []), (ignore or []):
@@ -95,10 +114,15 @@ def select_rules(
             raise ValueError(
                 f"unknown rule id(s) {sorted(unknown)}; known: {sorted(known)}"
             )
+    pool = default_rules()
+    if flow or select:
+        pool.extend(flow_rules())
     keep = {rid.upper() for rid in select} if select else known
+    if select is None and not flow:
+        keep -= set(FLOW_RULE_IDS)
     drop = {rid.upper() for rid in ignore} if ignore else set()
     return [
-        rule for rule in default_rules()
+        rule for rule in pool
         if rule.rule_id in keep and rule.rule_id not in drop
     ]
 
@@ -107,9 +131,10 @@ def lint_paths(
     paths: Iterable[Union[str, "object"]],
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    flow: bool = False,
 ) -> List[Finding]:
     """Lint files/directories with the (filtered) default rule set."""
-    engine = LintEngine(select_rules(select, ignore))
+    engine = LintEngine(select_rules(select, ignore, flow=flow))
     return engine.lint_paths([str(p) for p in paths])
 
 

@@ -60,6 +60,13 @@ class Finding:
     severity: str
     message: str
     autofix_hint: str = ""
+    #: last line of the offending statement (0 = same as ``line``);
+    #: suppression comments anywhere in the span apply.
+    end_line: int = 0
+    #: structured rule-specific evidence (interleaving witness for
+    #: REPRO111, colliding tag sites for REPRO113, ...); rendered
+    #: verbatim by the JSON reporter.
+    extra: Optional[Dict[str, object]] = None
 
     def format(self) -> str:
         """``path:line:col: RULE [severity] message`` (+ optional hint)."""
@@ -71,8 +78,12 @@ class Finding:
             text += f" (fix: {self.autofix_hint})"
         return text
 
+    def span(self) -> Tuple[int, int]:
+        """Inclusive ``(first, last)`` line range of the finding."""
+        return self.line, max(self.line, self.end_line)
+
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -80,7 +91,11 @@ class Finding:
             "severity": self.severity,
             "message": self.message,
             "autofix_hint": self.autofix_hint,
+            "end_line": max(self.line, self.end_line),
         }
+        if self.extra is not None:
+            payload["extra"] = self.extra
+        return payload
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule_id)
@@ -198,10 +213,23 @@ class FileContext:
         return self.func_stack[-1] if self.func_stack else None
 
     # ------------------------------------------------------------------
-    def is_suppressed(self, rule_id: str, line: int) -> bool:
+    def is_suppressed(
+        self, rule_id: str, line: int, end_line: int = 0
+    ) -> bool:
+        """True when ``rule_id`` is disabled anywhere in the statement span.
+
+        ``end_line`` extends the check over multi-line statements: a
+        ``# repro-lint: disable=...`` comment on *any* physical line of
+        the statement (e.g. the closing paren of a wrapped call)
+        suppresses the finding, matching how humans naturally place
+        the comment.
+        """
         rule_id = rule_id.upper()
-        for scope in (self.file_suppressions, self.line_suppressions.get(line, ())):
-            if rule_id in scope or "ALL" in scope:
+        if rule_id in self.file_suppressions or "ALL" in self.file_suppressions:
+            return True
+        last = max(line, end_line)
+        for at, scope in self.line_suppressions.items():
+            if line <= at <= last and (rule_id in scope or "ALL" in scope):
                 return True
         return False
 
@@ -233,9 +261,24 @@ class Rule:
         """Called after the walk; override for file-level findings."""
         return iter(())
 
+    def finish_project(
+        self, contexts: Sequence[FileContext]
+    ) -> Iterator[Finding]:
+        """Called once after every file was walked, with all contexts.
+
+        Override for whole-program analyses (cross-file handoff
+        summaries, global RNG-tag collection). Findings are attributed
+        to — and suppressible in — the file named by their ``path``.
+        """
+        return iter(())
+
     # ------------------------------------------------------------------
     def finding(
-        self, ctx: FileContext, node: ast.AST, message: str
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        extra: Optional[Dict[str, object]] = None,
     ) -> Finding:
         """Build a :class:`Finding` for ``node`` with this rule's metadata."""
         return Finding(
@@ -246,6 +289,8 @@ class Rule:
             severity=self.severity,
             message=message,
             autofix_hint=self.autofix_hint,
+            end_line=getattr(node, "end_lineno", 0) or 0,
+            extra=extra,
         )
 
 
@@ -270,6 +315,15 @@ class LintEngine:
         self, source: str, path: Union[str, Path] = "<string>"
     ) -> List[Finding]:
         """Lint one file's source text; parse errors become findings."""
+        findings, ctx = self._lint_one(source, path)
+        contexts = [ctx] if ctx is not None else []
+        findings.extend(self._project_findings(contexts))
+        return sorted(findings, key=Finding.sort_key)
+
+    def _lint_one(
+        self, source: str, path: Union[str, Path]
+    ) -> Tuple[List[Finding], Optional[FileContext]]:
+        """Per-file passes only; project rules run in the caller."""
         try:
             ctx = FileContext(path, source)
         except SyntaxError as exc:
@@ -282,7 +336,7 @@ class LintEngine:
                     severity="error",
                     message=f"file does not parse: {exc.msg}",
                 )
-            ]
+            ], None
         findings: List[Finding] = []
         for rule in self.rules:
             rule.start_file(ctx)
@@ -290,9 +344,25 @@ class LintEngine:
         for rule in self.rules:
             findings.extend(
                 f for f in rule.finish_file(ctx)
-                if not ctx.is_suppressed(f.rule_id, f.line)
+                if not ctx.is_suppressed(f.rule_id, f.line, f.end_line)
             )
-        return sorted(findings, key=Finding.sort_key)
+        return findings, ctx
+
+    def _project_findings(
+        self, contexts: Sequence[FileContext]
+    ) -> List[Finding]:
+        """Run :meth:`Rule.finish_project` hooks, applying suppressions."""
+        by_path = {ctx.path: ctx for ctx in contexts}
+        findings: List[Finding] = []
+        for rule in self.rules:
+            for finding in rule.finish_project(contexts):
+                ctx = by_path.get(finding.path)
+                if ctx is not None and ctx.is_suppressed(
+                    finding.rule_id, finding.line, finding.end_line
+                ):
+                    continue
+                findings.append(finding)
+        return findings
 
     def lint_file(self, path: Union[str, Path]) -> List[Finding]:
         return self.lint_source(
@@ -302,8 +372,15 @@ class LintEngine:
     def lint_paths(self, paths: Iterable[Union[str, Path]]) -> List[Finding]:
         """Lint files and (recursively) directories of ``*.py`` files."""
         findings: List[Finding] = []
+        contexts: List[FileContext] = []
         for target in self._iter_files(paths):
-            findings.extend(self.lint_file(target))
+            per_file, ctx = self._lint_one(
+                Path(target).read_text(encoding="utf-8"), target
+            )
+            findings.extend(per_file)
+            if ctx is not None:
+                contexts.append(ctx)
+        findings.extend(self._project_findings(contexts))
         return sorted(findings, key=Finding.sort_key)
 
     @staticmethod
@@ -326,7 +403,9 @@ class LintEngine:
         for rule in self.rules:
             if rule.node_types and isinstance(node, rule.node_types):
                 for finding in rule.on_node(ctx, node):
-                    if not ctx.is_suppressed(finding.rule_id, finding.line):
+                    if not ctx.is_suppressed(
+                        finding.rule_id, finding.line, finding.end_line
+                    ):
                         findings.append(finding)
         is_func = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
         if is_func:

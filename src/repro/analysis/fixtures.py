@@ -1,0 +1,230 @@
+"""Self-test fixtures for ``repro lint --fixtures``.
+
+Each fixture is a small source file with a *known* expected finding
+set for exactly one rule. ``repro lint --fixtures`` lints every case
+with only its rule enabled and fails when the produced finding lines
+differ — a deployment smoke test that the analyses still detect the
+defect classes they were built for (and stay quiet on the fixed
+code), runnable anywhere the package is installed.
+
+The centerpiece is :data:`PREFIX_FORWARD`, a condensed transcript of
+``ServingRuntime._forward`` as it shipped *before* PR 8: the
+``charged_path.append`` after ``await queue.put(req)`` is the exact
+await-boundary race REPRO111 exists to catch, pinned here forever as
+a regression fixture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analysis.engine import Finding, LintEngine
+from repro.analysis.flow import flow_rules
+from repro.analysis.rules import default_rules
+
+__all__ = ["FixtureCase", "FIXTURES", "PREFIX_FORWARD", "run_fixtures"]
+
+
+@dataclass(frozen=True)
+class FixtureCase:
+    """One lint self-test: a source, a rule, and expected hit lines."""
+
+    name: str
+    rule_id: str
+    path: str
+    source: str
+    #: line numbers the rule must flag — () pins a clean case.
+    expect: Tuple[int, ...]
+    flow: bool = False
+
+
+#: ``ServingRuntime._forward`` pre-PR-8 (condensed): the append on the
+#: success path races the consumer that dequeued at the await.
+PREFIX_FORWARD = '''\
+import asyncio
+
+
+class ServingRuntime:
+    async def _forward(self, cohort, destination, via_edge=None, origin=None):
+        queue = self.nodes[destination].queue
+        for req in cohort:
+            try:
+                await queue.put(req, timeout_s=self.hop_timeout_s)
+            except ShedError:
+                self._answer(req, shed=True)
+                continue
+            except QueueTimeout:
+                self._degrade_cohort(origin, [req], reason="hop_timeout")
+                continue
+            if via_edge is not None:
+                req.charged_path.append(via_edge)
+'''
+
+#: the PR-8 fix: mutate first, undo on the failure edges.
+_FIXED_FORWARD = '''\
+import asyncio
+
+
+class ServingRuntime:
+    async def _forward(self, cohort, destination, via_edge=None, origin=None):
+        queue = self.nodes[destination].queue
+        for req in cohort:
+            if via_edge is not None:
+                req.charged_path.append(via_edge)
+            try:
+                await queue.put(req, timeout_s=self.hop_timeout_s)
+            except ShedError:
+                if via_edge is not None:
+                    req.charged_path.pop()
+                self._answer(req, shed=True)
+            except QueueTimeout:
+                if via_edge is not None:
+                    req.charged_path.pop()
+                self._degrade_cohort(origin, [req], reason="hop_timeout")
+'''
+
+_SPAWN_MUTATE = '''\
+import asyncio
+
+
+async def fanout(batch, worker):
+    task = asyncio.ensure_future(worker(batch))
+    await asyncio.sleep(0)
+    batch.append("late")
+    return task
+'''
+
+_SHARED_WRITE = '''\
+from repro.serve.shard import SharedModelStore
+
+
+def worker(name, layout, x):
+    model, normalized, packed = SharedModelStore.attach(name, layout)
+    model[0] = x
+    normalized.fill(0.0)
+    return model
+'''
+
+_SHARED_READ_ONLY = '''\
+from repro.serve.shard import SharedModelStore
+
+
+def worker(name, layout, x):
+    model, normalized, packed = SharedModelStore.attach(name, layout)
+    local = model.copy()
+    local[0] = x
+    return local @ normalized.T
+'''
+
+_TAG_COLLISION = '''\
+from repro.utils.rng import derive_rng
+
+
+def chaos(seed):
+    return derive_rng(seed, "faults")
+
+
+def workload(seed):
+    return derive_rng(seed, "faults")
+'''
+
+_TAG_ADJACENT_HOLES = '''\
+from repro.utils.rng import derive_rng
+
+
+def per_node(seed, level, node):
+    return derive_rng(seed, f"node-{level}{node}")
+'''
+
+_MULTILINE_SUPPRESSED = '''\
+import numpy as np
+
+
+def sample(n):
+    rng = np.random.default_rng(  # repro-lint: disable=REPRO101
+        1234
+    )
+    return rng.normal(size=n)
+'''
+
+
+FIXTURES: Tuple[FixtureCase, ...] = (
+    FixtureCase(
+        name="prefix-forward-race",
+        rule_id="REPRO111",
+        path="src/repro/serve/_fixture_forward.py",
+        source=PREFIX_FORWARD,
+        expect=(17,),
+        flow=True,
+    ),
+    FixtureCase(
+        name="fixed-forward-clean",
+        rule_id="REPRO111",
+        path="src/repro/serve/_fixture_forward_fixed.py",
+        source=_FIXED_FORWARD,
+        expect=(),
+        flow=True,
+    ),
+    FixtureCase(
+        name="spawn-then-mutate",
+        rule_id="REPRO111",
+        path="src/repro/serve/_fixture_spawn.py",
+        source=_SPAWN_MUTATE,
+        expect=(7,),
+        flow=True,
+    ),
+    FixtureCase(
+        name="shared-view-write",
+        rule_id="REPRO112",
+        path="src/repro/serve/_fixture_shard.py",
+        source=_SHARED_WRITE,
+        expect=(6, 7),
+        flow=True,
+    ),
+    FixtureCase(
+        name="shared-view-copy-clean",
+        rule_id="REPRO112",
+        path="src/repro/serve/_fixture_shard_copy.py",
+        source=_SHARED_READ_ONLY,
+        expect=(),
+        flow=True,
+    ),
+    FixtureCase(
+        name="rng-tag-duplicate",
+        rule_id="REPRO113",
+        path="src/repro/_fixture_tags.py",
+        source=_TAG_COLLISION,
+        expect=(5, 9),
+        flow=True,
+    ),
+    FixtureCase(
+        name="rng-tag-adjacent-holes",
+        rule_id="REPRO113",
+        path="src/repro/_fixture_tag_holes.py",
+        source=_TAG_ADJACENT_HOLES,
+        expect=(5,),
+        flow=True,
+    ),
+    FixtureCase(
+        name="multiline-suppression",
+        rule_id="REPRO101",
+        path="src/repro/_fixture_suppress.py",
+        source=_MULTILINE_SUPPRESSED,
+        expect=(),
+    ),
+)
+
+
+def run_fixtures(
+    cases: Sequence[FixtureCase] = FIXTURES,
+) -> List[Tuple[FixtureCase, List[Finding], bool]]:
+    """Lint every fixture in isolation; True = behaved as pinned."""
+    results: List[Tuple[FixtureCase, List[Finding], bool]] = []
+    for case in cases:
+        pool = flow_rules() if case.flow else default_rules()
+        rules = [rule for rule in pool if rule.rule_id == case.rule_id]
+        findings = LintEngine(rules).lint_source(case.source, path=case.path)
+        got = tuple(sorted(f.line for f in findings))
+        results.append((case, findings, got == tuple(sorted(case.expect))))
+    return results

@@ -43,9 +43,14 @@ def render_text(findings: Sequence[Finding]) -> str:
 
 
 def render_json(findings: Sequence[Finding], indent: int = 2) -> str:
-    """Stable machine-readable report (schema version 1)."""
+    """Stable machine-readable report (schema version 2).
+
+    Version 2 adds ``end_line`` to every finding and an optional
+    ``extra`` object carrying rule-specific evidence (the REPRO111
+    interleaving witness, the REPRO113 collision partners).
+    """
     payload = {
-        "version": 1,
+        "version": 2,
         "summary": summarize(findings),
         "findings": [finding.to_dict() for finding in findings],
     }

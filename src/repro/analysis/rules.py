@@ -22,6 +22,11 @@ REPRO110   process-boundary         ``multiprocessing`` process / shared-memory
                                     primitives stay inside the serving cluster
 =========  =======================  ==========================================
 
+The dataflow rules REPRO111 (await-boundary-race), REPRO112
+(shared-memory-write) and REPRO113 (rng-tag-collision) live in
+:mod:`repro.analysis.flow` and are enabled with ``repro lint --flow``
+(or by naming them in ``--select``).
+
 Suppress a rule for one line with a trailing
 ``# repro-lint: disable=REPRO10x`` comment, or for a whole file by
 putting the same comment in the leading comment block.
@@ -34,6 +39,7 @@ import re
 from typing import Dict, Iterator, List, Sequence, Set, Tuple
 
 from repro.analysis.engine import FileContext, Finding, Rule
+from repro.analysis.flow import flow_rules
 
 __all__ = [
     "RngDisciplineRule",
@@ -671,7 +677,9 @@ def default_rules() -> List[Rule]:
 #: One shared default instance list (suitable for one-shot engine runs).
 DEFAULT_RULES: Sequence[Rule] = tuple(default_rules())
 
-#: id -> rule class, for --select / --ignore and the rule table.
+#: id -> rule class, for --select / --ignore and the rule table. Spans
+#: both the default pack and the dataflow rules (``--flow``).
 RULE_INDEX: Dict[str, type] = {
-    rule.rule_id: type(rule) for rule in DEFAULT_RULES
+    rule.rule_id: type(rule)
+    for rule in (*DEFAULT_RULES, *flow_rules())
 }

@@ -575,6 +575,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         RULE_INDEX,
         LintEngine,
         default_rules,
+        flow_rules,
         render_json,
         render_text,
         select_rules,
@@ -582,14 +583,32 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     if args.list_rules:
         print(f"{'id':<10} {'severity':<8} description")
-        for rule in default_rules():
+        for rule in default_rules() + flow_rules():
             print(f"{rule.rule_id:<10} {rule.severity:<8} {rule.description}")
         return 0
+    if args.fixtures:
+        from repro.analysis.fixtures import run_fixtures
+
+        failed = 0
+        for case, findings, ok in run_fixtures():
+            got = tuple(sorted(f.line for f in findings))
+            status = "ok" if ok else "FAIL"
+            print(
+                f"{status:<5} {case.rule_id} {case.name}: expected lines "
+                f"{list(case.expect)}, got {list(got)}"
+            )
+            failed += 0 if ok else 1
+        print(
+            f"repro lint --fixtures: "
+            f"{'all pinned behaviours hold' if not failed else f'{failed} fixture(s) drifted'}"
+        )
+        return 1 if failed else 0
     split = lambda raw: [t.strip() for t in raw.split(",") if t.strip()]
     try:
         rules = select_rules(
             select=split(args.select) if args.select else None,
             ignore=split(args.ignore) if args.ignore else None,
+            flow=args.flow,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -834,6 +853,16 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule table and exit",
+    )
+    lint.add_argument(
+        "--flow", action="store_true",
+        help="also run the dataflow analyses (REPRO111-113: await-"
+             "boundary races, shared-memory writes, RNG tag collisions)",
+    )
+    lint.add_argument(
+        "--fixtures", action="store_true",
+        help="self-test: lint the pinned defect fixtures and verify "
+             "each rule still flags (exit 1 on drift)",
     )
     return parser
 

@@ -172,7 +172,10 @@ class HierarchicalInference:
         n = mat.shape[0]
         leaves = hierarchy.leaves()
         if start_leaves is None:
-            rng = derive_rng(seed, "start-leaves")
+            # Intentionally the same tag as serve.workload.entry_plan:
+            # the served path must draw *identical* start leaves for the
+            # offline == served equivalence tests to hold bit-for-bit.
+            rng = derive_rng(seed, "start-leaves")  # repro-lint: disable=REPRO113
             start_leaves = np.asarray(leaves)[rng.integers(0, len(leaves), size=n)]
         else:
             start_leaves = np.asarray(start_leaves)

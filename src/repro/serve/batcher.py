@@ -14,6 +14,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, List
 
+import repro.serve.sanitizer as sanitizer
 from repro.serve.queueing import BoundedQueue
 
 __all__ = ["MicroBatcher"]
@@ -91,6 +92,12 @@ class MicroBatcher:
                 break
         self.n_batches += 1
         self.n_items += len(batch)
+        if sanitizer.enabled():
+            # Ownership transfers to *this* coroutine (the node's run
+            # task) — not to the internal getter future, which would
+            # mis-assign the owner to a task that never mutates.
+            for item in batch:
+                sanitizer.acquire(item)
         return batch
 
     @property

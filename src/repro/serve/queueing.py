@@ -21,6 +21,8 @@ import asyncio
 from dataclasses import dataclass
 from typing import Any, Optional
 
+import repro.serve.sanitizer as sanitizer
+
 __all__ = ["BoundedQueue", "QueueStats", "QueueTimeout", "ShedError", "POLICIES"]
 
 POLICIES = ("block", "shed")
@@ -95,6 +97,9 @@ class BoundedQueue:
                 raise QueueTimeout(
                     f"queue full ({self.maxsize}) for {timeout_s} s"
                 ) from None
+        # Only a *successful* enqueue hands the item over: the shed /
+        # timeout raises above fire before the item enters the queue.
+        sanitizer.publish(item)
         self.stats.enqueued += 1
         depth = self._queue.qsize()
         if depth > self.stats.high_water:
@@ -109,6 +114,7 @@ class BoundedQueue:
         except asyncio.QueueFull:
             self.stats.shed += 1
             return False
+        sanitizer.publish(item)
         self.stats.enqueued += 1
         depth = self._queue.qsize()
         if depth > self.stats.high_water:

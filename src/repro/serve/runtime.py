@@ -55,6 +55,7 @@ from repro.core.search import SearchSpec
 from repro.hierarchy.inference import HierarchicalInference
 from repro.network.medium import Medium
 from repro.obs.telemetry import FlightRecorder, TelemetryLog, TelemetrySampler
+import repro.serve.sanitizer as sanitizer
 from repro.serve.batcher import MicroBatcher
 from repro.serve.faults import FaultPlan
 from repro.serve.queueing import POLICIES, BoundedQueue, QueueTimeout, ShedError
@@ -668,8 +669,9 @@ class ServingRuntime:
             for server in self.nodes.values()
         ]
         tracing = obs.enabled()
+        request_cls = sanitizer.request_class()
         requests = [
-            ServeRequest(
+            request_cls(
                 index=i,
                 features=workload.features[i],
                 start_leaf=int(workload.start_leaves[i]),

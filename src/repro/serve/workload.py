@@ -94,7 +94,9 @@ def make_workload(
     leaves = hierarchy.leaves()
     n = mat.shape[0]
     if start_leaves is None:
-        rng = derive_rng(seed, "start-leaves")
+        # Intentionally the same tag as HierarchicalInference.classify:
+        # offline and served runs must draw identical start leaves.
+        rng = derive_rng(seed, "start-leaves")  # repro-lint: disable=REPRO113
         start_leaves = np.asarray(leaves)[rng.integers(0, len(leaves), size=n)]
     else:
         start_leaves = np.asarray(start_leaves)

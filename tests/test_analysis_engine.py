@@ -47,6 +47,57 @@ class TestSuppression:
         )
         assert findings == []
 
+    def test_multiline_statement_suppressed_on_first_line(self):
+        findings = findings_for(
+            """
+            import numpy as np
+            a = np.random.rand(  # repro-lint: disable=REPRO101
+                3,
+                4,
+            )
+            """
+        )
+        assert findings == []
+
+    def test_multiline_statement_suppressed_on_inner_line(self):
+        # the offending call starts on the assignment line but the
+        # comment sits two lines later, still inside the statement span
+        findings = findings_for(
+            """
+            import numpy as np
+            a = np.random.rand(
+                3,
+                4,  # repro-lint: disable=REPRO101
+            )
+            """
+        )
+        assert findings == []
+
+    def test_multiline_suppression_does_not_leak_past_statement(self):
+        findings = findings_for(
+            """
+            import numpy as np
+            a = np.random.rand(
+                3,  # repro-lint: disable=REPRO101
+            )
+            b = np.random.rand(3)
+            """
+        )
+        assert [f.line for f in findings] == [6]
+
+    def test_finding_span_covers_multiline_statement(self):
+        findings = findings_for(
+            """
+            import numpy as np
+            a = np.random.rand(
+                3,
+                4,
+            )
+            """
+        )
+        (f,) = findings
+        assert f.span() == (3, 6)
+
     def test_file_level_suppression_in_header(self):
         findings = findings_for(
             """
@@ -185,7 +236,7 @@ class TestReporters:
 
     def test_render_json_schema(self):
         payload = json.loads(render_json(self._sample()))
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["summary"]["total"] == 2
         assert payload["findings"][0] == {
             "path": "src/x.py",
@@ -195,6 +246,7 @@ class TestReporters:
             "severity": "error",
             "message": "legacy RNG",
             "autofix_hint": "use derive_rng",
+            "end_line": 3,
         }
 
 
@@ -249,3 +301,51 @@ class TestCli:
         out = capsys.readouterr().out
         for rule in default_rules():
             assert rule.rule_id in out
+        for rule_id in ("REPRO111", "REPRO112", "REPRO113"):
+            assert rule_id in out
+
+    def test_flow_flag_runs_dataflow_rules(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro" / "serve"
+        pkg.mkdir(parents=True)
+        target = pkg / "bad.py"
+        target.write_text(
+            "async def f(q, req, edge):\n"
+            "    await q.put(req)\n"
+            "    req.charged_path.append(edge)\n"
+        )
+        assert cli.main(["lint", str(tmp_path)]) == 0  # default: off
+        capsys.readouterr()
+        rc = cli.main(["lint", str(tmp_path), "--flow"])
+        assert rc == 1
+        assert "REPRO111" in capsys.readouterr().out
+
+    def test_flow_json_includes_witness(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro" / "serve"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(
+            "async def f(q, req, edge):\n"
+            "    await q.put(req)\n"
+            "    req.charged_path.append(edge)\n"
+        )
+        rc = cli.main(
+            ["lint", str(tmp_path), "--flow", "--format", "json"]
+        )
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["extra"]["witness"][1]["task"]
+
+    def test_selecting_flow_rule_without_flag(self, tmp_path):
+        target = tmp_path / "tags.py"
+        target.write_text(
+            "from repro.utils.rng import derive_rng\n"
+            "a = derive_rng(1, 'x')\n"
+            "b = derive_rng(2, 'x')\n"
+        )
+        assert cli.main(["lint", str(target), "--select", "REPRO113"]) == 1
+
+    def test_fixtures_self_test_passes(self, capsys):
+        rc = cli.main(["lint", "--fixtures"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "all pinned behaviours hold" in out
+        assert "REPRO111 prefix-forward-race" in out

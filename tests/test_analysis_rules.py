@@ -613,7 +613,11 @@ class TestRuleRegistry:
     def test_ten_rules_with_unique_ids(self):
         ids = [rule.rule_id for rule in DEFAULT_RULES]
         assert len(ids) == len(set(ids)) == 10
-        assert set(RULE_INDEX) == set(ids)
+        # the index additionally knows the dataflow rules (--flow)
+        from repro.analysis import FLOW_RULE_IDS
+
+        assert set(RULE_INDEX) == set(ids) | set(FLOW_RULE_IDS)
+        assert len(FLOW_RULE_IDS) == 3
 
     def test_every_rule_documents_itself(self):
         for rule in DEFAULT_RULES:

@@ -22,3 +22,9 @@ def test_src_tree_exists():
 def test_repro_lint_is_clean_over_src():
     findings = lint_paths([str(SRC)])
     assert findings == [], "\n" + "\n".join(f.format() for f in findings)
+
+
+def test_repro_lint_flow_is_clean_over_src():
+    """The dataflow analyses (REPRO111-113) must also hold over src/."""
+    findings = lint_paths([str(SRC)], flow=True)
+    assert findings == [], "\n" + "\n".join(f.format() for f in findings)
