@@ -1,0 +1,325 @@
+"""Elastic-topology control-plane benchmark: join / drain / replace.
+
+Measures the runtime cost of the :mod:`repro.hierarchy.control`
+operations the paper's deployment story depends on (Sec. VI-F argues
+robustness; this quantifies the repair path):
+
+* **join** — grafting a new end node and hierarchically re-encoding
+  only the dirty ancestor chain, vs. retraining the grown federation
+  from scratch (the speedup is the point of incremental refit);
+* **drain** — planned leave with feature re-partitioning;
+* **checkpoint / restore** — full-topology state round trip latency
+  and artifact size;
+* **replacement** — the crash → lease-expiry detect → respawn →
+  journal catch-up scenario, reporting detection latency (virtual
+  clock), replayed feedback volume and the zero-lost / bit-exact
+  recovery contracts.
+
+Emits ``benchmarks/results/BENCH_topology.json`` plus a text table.
+Run standalone with ``python benchmarks/bench_topology.py [--smoke]``;
+``--smoke`` skips the timing grid and only runs the
+timing-independent contracts (runtime join bit-identical to
+construction-time build, replacement recovery bit-identical to a
+never-crashed run), which is also what CI exercises.
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+from _common import bench_scale, save_json, save_report
+
+from repro.config import EdgeHDConfig
+from repro.data import DATASETS, load_dataset, partition_features
+from repro.hierarchy import (
+    EdgeHDFederation,
+    HierarchicalInference,
+    OnlineLearner,
+    ScenarioSpec,
+    TopologyController,
+    build_tree,
+    run_replacement_scenario,
+)
+
+DATASET = "APRI"
+SEED = 7
+SPEC = ScenarioSpec(
+    n_steps=3, crash_step=1, seed=5, lease_timeout_s=0.5,
+    heartbeat_period_s=0.25, drop_probability=0.1,
+)
+
+
+def load_splits(scale=None):
+    scale = scale or bench_scale()
+    data = load_dataset(
+        DATASET, scale=scale.data_scale, max_train=scale.max_train,
+        max_test=scale.max_test, seed=SEED,
+    )
+    half = len(data.test_x) // 2
+    stream_x, stream_y = data.test_x[:half], data.test_y[:half]
+    serve_x = data.test_x[half:]
+    return data, stream_x, stream_y, serve_x
+
+
+def build_controller(data, scale=None, n_leaves=None):
+    scale = scale or bench_scale()
+    n_leaves = n_leaves or DATASETS[DATASET].n_end_nodes
+    partition = partition_features(data.n_features, n_leaves)
+    config = EdgeHDConfig(
+        dimension=scale.dimension, retrain_epochs=scale.retrain_epochs,
+        batch_size=scale.batch_size, seed=SEED,
+        confidence_threshold=0.3,
+    )
+    hierarchy = build_tree(n_leaves)
+    hierarchy.allocate_dimensions(config.dimension, partition.feature_counts())
+    federation = EdgeHDFederation(
+        hierarchy, partition, data.n_classes, config
+    )
+    controller = TopologyController(
+        federation, data.train_x, data.train_y,
+        learner=OnlineLearner(federation),
+        lease_timeout_s=SPEC.lease_timeout_s,
+    )
+    return controller
+
+
+def grown_twin(data, controller, scale=None, n_leaves=None):
+    """A fresh, untrained federation with the post-join topology.
+
+    Same seed, same grafted node id, same partition slices — training
+    it offline must land bit-identical to the runtime join (the
+    spawn-seed prefix is keyed by node id, not by join order).
+    """
+    from repro.data.partition import FeaturePartition
+
+    scale = scale or bench_scale()
+    n_leaves = n_leaves or DATASETS[DATASET].n_end_nodes
+    config = controller.federation.config
+    hierarchy = build_tree(n_leaves)
+    hierarchy.graft_leaf(hierarchy.root_id)
+    partition = FeaturePartition(controller.federation.partition.slices)
+    hierarchy.allocate_dimensions(config.dimension, partition.feature_counts())
+    return EdgeHDFederation(hierarchy, partition, data.n_classes, config)
+
+
+def bench_membership(scale=None) -> dict:
+    """Join + drain latency vs. retraining the grown topology."""
+    scale = scale or bench_scale()
+    data, _, _, _ = load_splits(scale)
+    controller = build_controller(data, scale)
+    t0 = time.perf_counter()
+    controller.fit()
+    fit_s = time.perf_counter() - t0
+
+    root = controller.federation.hierarchy.root_id
+    t0 = time.perf_counter()
+    joined = controller.join(root)
+    join_s = time.perf_counter() - t0
+
+    # the honest baseline: training the same grown topology offline
+    twin_fed = grown_twin(data, controller, scale)
+    t0 = time.perf_counter()
+    twin_fed.fit_offline(data.train_x, data.train_y)
+    retrain_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    drained = controller.drain(joined.node_id)
+    drain_s = time.perf_counter() - t0
+    return {
+        "n_nodes": len(controller.federation.hierarchy.nodes),
+        "fit_s": fit_s,
+        "join_s": join_s,
+        "join_refit_nodes": len(joined.refit_nodes),
+        "full_retrain_s": retrain_s,
+        "join_speedup_vs_retrain": retrain_s / max(join_s, 1e-9),
+        "drain_s": drain_s,
+        "drain_recipients": len(drained.recipients),
+    }
+
+
+def bench_checkpoint(scale=None) -> dict:
+    scale = scale or bench_scale()
+    data, _, _, _ = load_splits(scale)
+    controller = build_controller(data, scale)
+    controller.fit()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "topology.npz"
+        t0 = time.perf_counter()
+        controller.checkpoint(path)
+        save_s = time.perf_counter() - t0
+        size = path.stat().st_size
+        t0 = time.perf_counter()
+        restored = TopologyController.restore(
+            path, data.train_x, data.train_y,
+            lease_timeout_s=SPEC.lease_timeout_s,
+        )
+        restore_s = time.perf_counter() - t0
+    assert restored.fingerprint() == controller.fingerprint()
+    return {
+        "save_s": save_s,
+        "restore_s": restore_s,
+        "artifact_bytes": size,
+        "restore_bit_exact": True,
+    }
+
+
+def bench_replacement(scale=None) -> dict:
+    """The full crash → detect → respawn → catch-up scenario."""
+    scale = scale or bench_scale()
+    data, stream_x, stream_y, serve_x = load_splits(scale)
+
+    def run(tag, tmp, inject):
+        controller = build_controller(data, scale)
+        controller.fit()
+        inference = HierarchicalInference(controller.federation)
+        t0 = time.perf_counter()
+        result = run_replacement_scenario(
+            controller, inference, stream_x, stream_y, serve_x,
+            Path(tmp) / f"{tag}.npz", SPEC, inject_crash=inject,
+        )
+        return controller, result, time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        crashed_ctl, crashed, crashed_s = run("crashed", tmp, True)
+        clean_ctl, clean, _ = run("clean", tmp, False)
+    recovered_bit_exact = all(
+        np.array_equal(
+            crashed_ctl.federation.classifiers[n].class_hypervectors,
+            clean_ctl.federation.classifiers[n].class_hypervectors,
+        )
+        for n in crashed_ctl.federation.classifiers
+    )
+    assert crashed.n_lost_outage == 0 and crashed.n_lost_final == 0
+    assert recovered_bit_exact, "post-catch-up models diverged"
+    return {
+        "wall_s": crashed_s,
+        "detected_at_s": crashed.detected_at_s,
+        "lease_timeout_s": SPEC.lease_timeout_s,
+        "n_replayed": crashed.n_replayed,
+        "n_lost_outage": crashed.n_lost_outage,
+        "n_lost_final": crashed.n_lost_final,
+        "outage_p99_ms": crashed.outage_serve.percentiles()["p99"],
+        "final_p99_ms": crashed.final_serve.percentiles()["p99"],
+        "recovery_bit_exact": recovered_bit_exact,
+        "final_serve_matches_clean_run": (
+            crashed.final_serve.fingerprint()
+            == clean.final_serve.fingerprint()
+        ),
+    }
+
+
+def check_topology() -> dict:
+    """Timing-independent contracts at smoke scale (used by CI)."""
+    from _common import SMOKE
+
+    data, stream_x, stream_y, serve_x = load_splits(SMOKE)
+    controller = build_controller(data, SMOKE, n_leaves=4)
+    controller.fit()
+    root = controller.federation.hierarchy.root_id
+    joined = controller.join(root)
+
+    # a construction-time twin with the same final topology must end
+    # bit-identical to the runtime join
+    twin_fed = grown_twin(data, controller, SMOKE, n_leaves=4)
+    twin_fed.fit_offline(data.train_x, data.train_y)
+    join_bit_exact = all(
+        np.array_equal(
+            controller.federation.classifiers[n].class_hypervectors,
+            twin_fed.classifiers[n].class_hypervectors,
+        )
+        for n in twin_fed.classifiers
+    )
+    assert join_bit_exact, "runtime join diverged from offline build"
+
+    replacement = bench_replacement(SMOKE)
+    return {
+        "join_bit_exact": join_bit_exact,
+        "joined_node": joined.node_id,
+        "replacement_zero_lost": replacement["n_lost_outage"] == 0
+        and replacement["n_lost_final"] == 0,
+        "replacement_n_replayed": replacement["n_replayed"],
+        "recovery_bit_exact": replacement["recovery_bit_exact"],
+    }
+
+
+def format_report(payload: dict) -> str:
+    m, c, r = (
+        payload["membership"], payload["checkpoint"], payload["replacement"]
+    )
+    lines = [
+        f"Elastic topology control plane — {DATASET}",
+        "=" * 56,
+        f"{'offline fit':>28}: {m['fit_s'] * 1e3:9.1f} ms "
+        f"({m['n_nodes']} nodes)",
+        f"{'runtime join':>28}: {m['join_s'] * 1e3:9.1f} ms "
+        f"({m['join_refit_nodes']} nodes refit)",
+        f"{'full retrain (baseline)':>28}: {m['full_retrain_s'] * 1e3:9.1f} ms",
+        f"{'join speedup':>28}: {m['join_speedup_vs_retrain']:9.1f} x",
+        f"{'drain':>28}: {m['drain_s'] * 1e3:9.1f} ms "
+        f"({m['drain_recipients']} recipients)",
+        f"{'checkpoint save':>28}: {c['save_s'] * 1e3:9.1f} ms "
+        f"({c['artifact_bytes'] / 1024:.0f} KiB)",
+        f"{'checkpoint restore':>28}: {c['restore_s'] * 1e3:9.1f} ms "
+        f"(bit-exact)",
+        f"{'crash detected (virtual)':>28}: {r['detected_at_s']:9.2f} s "
+        f"(lease {r['lease_timeout_s']} s)",
+        f"{'journal events replayed':>28}: {r['n_replayed']:9d}",
+        f"{'lost requests':>28}: "
+        f"{r['n_lost_outage'] + r['n_lost_final']:9d}",
+        f"{'mid-outage p99':>28}: {r['outage_p99_ms']:9.2f} ms",
+        f"{'post-recovery p99':>28}: {r['final_p99_ms']:9.2f} ms",
+        f"{'recovery bit-exact':>28}: {str(r['recovery_bit_exact']):>9}",
+    ]
+    return "\n".join(lines)
+
+
+def run_all(scale=None) -> dict:
+    return {
+        "dataset": DATASET,
+        "seed": SEED,
+        "membership": bench_membership(scale),
+        "checkpoint": bench_checkpoint(scale),
+        "replacement": bench_replacement(scale),
+        "note": (
+            "join refits only the dirty ancestor chain; replacement "
+            "detection runs on the scenario's virtual clock, so "
+            "detected_at_s is deterministic"
+        ),
+    }
+
+
+def bench_topology_control(benchmark):
+    """pytest-benchmark entry: full grid + the smoke contracts."""
+    payload = benchmark.pedantic(
+        run_all, rounds=1, iterations=1, warmup_rounds=0
+    )
+    payload["smoke"] = check_topology()
+    save_json("BENCH_topology", payload)
+    save_report("bench_topology", format_report(payload))
+    assert payload["replacement"]["final_serve_matches_clean_run"]
+
+
+def main(argv=None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="skip the timing grid; only run the timing-independent "
+        "join-bit-exactness + replacement-recovery contracts",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        evidence = check_topology()
+        print(f"topology smoke OK: {evidence}")
+        return
+    payload = run_all()
+    payload["smoke"] = check_topology()
+    save_json("BENCH_topology", payload)
+    save_report("bench_topology", format_report(payload))
+
+
+if __name__ == "__main__":
+    main()

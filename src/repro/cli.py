@@ -35,6 +35,11 @@ Subcommands
 ``lint``
     Run the repo-specific AST invariant checker
     (:mod:`repro.analysis`) over source paths.
+``topology``
+    Elastic topology control plane: ``checkpoint`` trains a federation
+    and saves full topology state (format v2), ``restore`` loads and
+    describes it, ``join`` / ``drain`` admit or remove an end node at
+    runtime (retraining only the dirtied nodes) and re-checkpoint.
 
 Observability
 -------------
@@ -518,6 +523,112 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro.hierarchy import (
+        CheckpointError,
+        OnlineLearner,
+        TopologyController,
+    )
+
+    spec = DATASETS[args.dataset]
+    if not spec.is_hierarchical:
+        print(
+            f"error: {args.dataset} has no end-node layout; choose one of "
+            f"PECAN/PAMAP2/APRI/PDP", file=sys.stderr,
+        )
+        return 2
+    data = load_dataset(
+        args.dataset, scale=args.scale,
+        max_train=args.max_train, max_test=args.max_test, seed=args.seed,
+    )
+
+    def describe(controller: TopologyController) -> None:
+        hierarchy = controller.federation.hierarchy
+        print(
+            f"  topology: {len(hierarchy.nodes)} nodes "
+            f"({len(hierarchy.leaves())} end nodes), depth {hierarchy.depth}"
+        )
+        states = sorted(
+            (nid, state.value) for nid, state in controller.states.items()
+        )
+        print("  states: " + ", ".join(f"{n}:{s}" for n, s in states))
+        print(f"  fingerprint: {controller.fingerprint()}")
+
+    if args.action == "checkpoint":
+        if args.topology == "star":
+            hierarchy = build_star(spec.n_end_nodes)
+        elif args.topology == "pecan":
+            hierarchy = build_pecan(n_appliances=spec.n_end_nodes)
+        else:
+            hierarchy = build_tree(spec.n_end_nodes)
+        partition = partition_features(data.n_features, spec.n_end_nodes)
+        config = EdgeHDConfig(
+            dimension=args.dimension, retrain_epochs=args.epochs,
+            batch_size=args.batch_size, seed=args.seed,
+        )
+        hierarchy.allocate_dimensions(
+            config.dimension, partition.feature_counts()
+        )
+        federation = EdgeHDFederation(
+            hierarchy, partition, data.n_classes, config
+        )
+        controller = TopologyController(
+            federation, data.train_x, data.train_y,
+            learner=OnlineLearner(federation),
+        )
+        controller.fit()
+        controller.checkpoint(args.path)
+        print(f"{args.dataset}: topology checkpoint written to {args.path}")
+        describe(controller)
+        return 0
+
+    try:
+        controller = TopologyController.restore(
+            args.path, data.train_x, data.train_y
+        )
+    except (CheckpointError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "restore":
+        print(f"{args.path}: topology state restored")
+        describe(controller)
+        return 0
+
+    try:
+        if args.action == "join":
+            parent = (
+                args.parent
+                if args.parent is not None
+                else controller.federation.hierarchy.root_id
+            )
+            join = controller.join(parent, epochs=args.epochs)
+            print(
+                f"joined end node {join.node_id} under {parent}: "
+                f"{len(join.columns)} features from donors "
+                f"{list(join.donors)}, {len(join.refit_nodes)} nodes refit"
+            )
+        else:  # drain
+            if args.leaf is None:
+                print("error: drain requires --leaf", file=sys.stderr)
+                return 2
+            drain = controller.drain(args.leaf, epochs=args.epochs)
+            print(
+                f"drained end node {args.leaf}: removed "
+                f"{list(drain.removed_nodes)}, columns redistributed to "
+                f"{list(drain.recipients)}, "
+                f"{len(drain.refit_nodes)} nodes refit"
+            )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out = args.out or args.path
+    controller.checkpoint(out)
+    print(f"updated topology checkpoint written to {out}")
+    describe(controller)
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     fmt = "json" if args.json else args.format
     if args.merge:
@@ -806,6 +917,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable observability and write the span trace (JSONL)",
     )
 
+    topology = sub.add_parser(
+        "topology",
+        help="elastic topology control plane: join/drain/checkpoint/restore",
+    )
+    topology.add_argument(
+        "action", choices=("join", "drain", "checkpoint", "restore"),
+        help="checkpoint: train + save full topology state; restore: "
+             "load + describe; join/drain: mutate a saved topology and "
+             "re-checkpoint",
+    )
+    topology.add_argument(
+        "path", help="topology checkpoint file (.npz, format v2)"
+    )
+    add_data_args(topology)
+    topology.add_argument(
+        "--topology", default="tree", choices=("star", "tree", "pecan"),
+        dest="topology", help="layout used by the checkpoint action",
+    )
+    topology.add_argument("--batch-size", type=int, default=10)
+    topology.add_argument(
+        "--parent", type=int, default=None,
+        help="join: gateway to graft under (default: the central node)",
+    )
+    topology.add_argument(
+        "--leaf", type=int, default=None, help="drain: end node to remove"
+    )
+    topology.add_argument(
+        "--out", default=None,
+        help="join/drain: write the updated checkpoint here "
+             "(default: overwrite PATH)",
+    )
+
     stats = sub.add_parser(
         "stats", help="show metrics recorded by an instrumented run"
     )
@@ -877,6 +1020,7 @@ _HANDLERS = {
     "reproduce": _cmd_reproduce,
     "stats": _cmd_stats,
     "lint": _cmd_lint,
+    "topology": _cmd_topology,
 }
 
 #: commands that record metrics and persist them on exit.

@@ -2,8 +2,23 @@
 
 from repro.hierarchy.checkpoint import (
     CheckpointError,
+    TopologyCheckpoint,
     load_federation,
+    load_topology_state,
     save_federation,
+    save_topology_state,
+)
+from repro.hierarchy.control import (
+    DrainResult,
+    FeedbackEvent,
+    JoinResult,
+    NodeLeaseMonitor,
+    NodeState,
+    ScenarioResult,
+    ScenarioSpec,
+    TopologyController,
+    TransitionRecord,
+    run_replacement_scenario,
 )
 from repro.hierarchy.deployment import DeploymentReport, SimulatedDeployment
 from repro.hierarchy.federation import (
@@ -24,8 +39,21 @@ from repro.hierarchy.topology import (
 
 __all__ = [
     "CheckpointError",
+    "TopologyCheckpoint",
     "load_federation",
+    "load_topology_state",
     "save_federation",
+    "save_topology_state",
+    "DrainResult",
+    "FeedbackEvent",
+    "JoinResult",
+    "NodeLeaseMonitor",
+    "NodeState",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "TopologyController",
+    "TransitionRecord",
+    "run_replacement_scenario",
     "DeploymentReport",
     "SimulatedDeployment",
     "EdgeHDFederation",

@@ -142,36 +142,71 @@ class EdgeHDFederation:
         self.holographic = bool(holographic)
 
         hierarchy.allocate_dimensions(config.dimension, partition.feature_counts())
-        seeds = spawn_seeds(config.seed, len(hierarchy.nodes), tag="federation")
         self.encoders: Dict[int, Encoder] = {}
         self.projections: Dict[int, Optional[TernaryProjection]] = {}
         self.classifiers: Dict[int, HDClassifier] = {}
-        for order, node_id in enumerate(hierarchy.preorder()):
-            node = hierarchy.nodes[node_id]
-            node_seed = seeds[order]
-            if node.is_leaf:
-                n_local = len(partition.columns(node.leaf_index))
-                self.encoders[node_id] = make_encoder(
-                    config.encoder,
-                    n_local,
-                    node.dimension,
-                    sparsity=config.sparsity,
-                    binarize=config.binarize,
-                    seed=node_seed,
+        for node_id in hierarchy.preorder():
+            self.rebuild_node(node_id)
+
+    def node_seed(self, node_id: int) -> int:
+        """Stable per-node RNG seed, keyed by node id.
+
+        Seeds come from a single spawn stream, so seed ``i`` depends
+        only on ``config.seed`` and ``i`` — never on how many nodes
+        currently exist. Every builder assigns ids in preorder, which
+        makes this bit-identical to the historical traversal-order
+        indexing; under runtime growth a grafted node draws the same
+        seed a build-time construction of the grown tree would give it.
+        """
+        if node_id < 0:
+            raise KeyError(f"unknown node {node_id}")
+        count = max(self.hierarchy.id_bound, node_id + 1)
+        return int(spawn_seeds(self.config.seed, count, tag="federation")[node_id])
+
+    def rebuild_node(self, node_id: int) -> None:
+        """(Re)create one node's encoder/projection and a fresh classifier.
+
+        Called for every node at construction, and by the control plane
+        when a topology mutation changes a node's feature slice,
+        dimension or child set. Artifacts depend only on the structure,
+        the config and the node-id-keyed seed, so a rebuilt node is
+        bit-identical to one created at construction time.
+        """
+        node = self.hierarchy.nodes[node_id]
+        node_seed = self.node_seed(node_id)
+        if node.is_leaf:
+            self.projections.pop(node_id, None)
+            n_local = len(self.partition.columns(node.leaf_index))
+            self.encoders[node_id] = make_encoder(
+                self.config.encoder,
+                n_local,
+                node.dimension,
+                sparsity=self.config.sparsity,
+                binarize=self.config.binarize,
+                seed=node_seed,
+            )
+        else:
+            self.encoders.pop(node_id, None)
+            in_dim = sum(
+                self.hierarchy.nodes[c].dimension for c in node.children
+            )
+            if self.holographic:
+                zero_fraction = max(
+                    0.0, 1.0 - self.config.projection_nonzeros / in_dim
+                )
+                self.projections[node_id] = TernaryProjection(
+                    in_dim, node.dimension, zero_fraction=zero_fraction,
+                    seed=node_seed, binarize=False,
                 )
             else:
-                in_dim = sum(hierarchy.nodes[c].dimension for c in node.children)
-                if self.holographic:
-                    zero_fraction = max(
-                        0.0, 1.0 - config.projection_nonzeros / in_dim
-                    )
-                    self.projections[node_id] = TernaryProjection(
-                        in_dim, node.dimension, zero_fraction=zero_fraction,
-                        seed=node_seed, binarize=False,
-                    )
-                else:
-                    self.projections[node_id] = None
-            self.classifiers[node_id] = HDClassifier(n_classes, node.dimension)
+                self.projections[node_id] = None
+        self.classifiers[node_id] = HDClassifier(self.n_classes, node.dimension)
+
+    def discard_node(self, node_id: int) -> None:
+        """Drop every artifact of a drained node (id is never reused)."""
+        self.encoders.pop(node_id, None)
+        self.projections.pop(node_id, None)
+        self.classifiers.pop(node_id, None)
 
     # ------------------------------------------------------------------
     # hierarchical encoding (Sec. IV-A)
@@ -367,78 +402,102 @@ class EdgeHDFederation:
     ) -> None:
         """Bottom-up training walk shared by :meth:`fit_offline`."""
         for node_id in self.hierarchy.postorder():
-            node = self.hierarchy.nodes[node_id]
-            clf = self.classifiers[node_id]
-            if node.is_leaf:
-                encoded = self.encode_leaf(node_id, mat)
-                clf.fit_initial(encoded, y)
+            self._fit_node(node_id, mat, y, epochs, report, groups,
+                           batch_labels, class_models, batch_hvs)
+
+    def _fit_node(
+        self,
+        node_id: int,
+        mat: np.ndarray,
+        y: np.ndarray,
+        epochs: int,
+        report: FederatedTrainingReport,
+        groups: list[tuple[int, np.ndarray]],
+        batch_labels: np.ndarray,
+        class_models: Dict[int, np.ndarray],
+        batch_hvs: Dict[int, np.ndarray],
+    ) -> None:
+        """Train one node, reading children artifacts from the dicts.
+
+        The per-node unit of the bottom-up pass. The control plane
+        re-invokes it for exactly the nodes a topology mutation dirtied
+        (new/donor leaves and their ancestors), against cached children
+        artifacts — producing models bit-identical to a full
+        :meth:`fit_offline` of the mutated tree without retraining the
+        untouched subtrees.
+        """
+        node = self.hierarchy.nodes[node_id]
+        clf = self.classifiers[node_id]
+        if node.is_leaf:
+            encoded = self.encode_leaf(node_id, mat)
+            clf.fit_initial(encoded, y)
+            clf.retrain(
+                encoded, y, epochs=epochs,
+                learning_rate=self.config.retrain_learning_rate,
+                shuffle_seed=node_id,
+            )
+            report.node_train_accuracy[node_id] = clf.accuracy(encoded, y)
+            # Batch hypervectors are binarized for transfer — one
+            # bit per dimension on the wire, exactly like query
+            # hypervectors (Sec. IV-B).
+            batches = sign_binarize(
+                np.stack([encoded[idx].sum(axis=0) for _, idx in groups])
+            ).astype(np.float64)
+        else:
+            # Initial model: hierarchical encoding of children's
+            # class hypervectors (kept real-valued — it is a linear
+            # aggregate the retraining step refines).
+            child_models = [class_models[c] for c in node.children]
+            clf.set_model(
+                self.combine_children(node_id, child_models, binarize=False)
+            )
+            # Retraining set: hierarchically-encoded batch hypervectors
+            # (raw projection values — local to this node).
+            child_batches = [batch_hvs[c] for c in node.children]
+            batches = self.combine_children(
+                node_id, child_batches, binarize=False
+            ).astype(np.float64)
+            if epochs > 0 and batches.shape[0] > 0:
                 clf.retrain(
-                    encoded, y, epochs=epochs,
+                    batches, batch_labels, epochs=epochs,
                     learning_rate=self.config.retrain_learning_rate,
                     shuffle_seed=node_id,
                 )
-                report.node_train_accuracy[node_id] = clf.accuracy(encoded, y)
-                # Batch hypervectors are binarized for transfer — one
-                # bit per dimension on the wire, exactly like query
-                # hypervectors (Sec. IV-B).
-                batches = sign_binarize(
-                    np.stack([encoded[idx].sum(axis=0) for _, idx in groups])
-                ).astype(np.float64)
-            else:
-                # Initial model: hierarchical encoding of children's
-                # class hypervectors (kept real-valued — it is a linear
-                # aggregate the retraining step refines).
-                child_models = [class_models[c] for c in node.children]
-                clf.set_model(
-                    self.combine_children(node_id, child_models, binarize=False)
+            if batches.shape[0] > 0:
+                report.node_train_accuracy[node_id] = clf.accuracy(
+                    batches, batch_labels
                 )
-                # Retraining set: hierarchically-encoded batch hypervectors
-                # (raw projection values — local to this node).
-                child_batches = [batch_hvs[c] for c in node.children]
-                batches = self.combine_children(
-                    node_id, child_batches, binarize=False
-                ).astype(np.float64)
-                if epochs > 0 and batches.shape[0] > 0:
-                    clf.retrain(
-                        batches, batch_labels, epochs=epochs,
-                        learning_rate=self.config.retrain_learning_rate,
-                        shuffle_seed=node_id,
-                    )
-                if batches.shape[0] > 0:
-                    report.node_train_accuracy[node_id] = clf.accuracy(
-                        batches, batch_labels
-                    )
-                # Binarize before forwarding, as at the leaves.
-                batches = sign_binarize(batches).astype(np.float64)
-            class_models[node_id] = clf.class_hypervectors.copy()
-            batch_hvs[node_id] = batches
+            # Binarize before forwarding, as at the leaves.
+            batches = sign_binarize(batches).astype(np.float64)
+        class_models[node_id] = clf.class_hypervectors.copy()
+        batch_hvs[node_id] = batches
 
-            if node.parent is not None:
-                model_bytes = class_model_bytes(self.n_classes, node.dimension)
-                report.messages.append(
-                    Message(
-                        source=node_id,
-                        destination=node.parent,
-                        kind=MessageKind.CLASS_MODEL,
-                        payload_bytes=model_bytes,
-                    )
+        if node.parent is not None:
+            model_bytes = class_model_bytes(self.n_classes, node.dimension)
+            report.messages.append(
+                Message(
+                    source=node_id,
+                    destination=node.parent,
+                    kind=MessageKind.CLASS_MODEL,
+                    payload_bytes=model_bytes,
                 )
-                batch_bytes = batches.shape[0] * hypervector_bytes(
-                    node.dimension, bipolar=True
+            )
+            batch_bytes = batches.shape[0] * hypervector_bytes(
+                node.dimension, bipolar=True
+            )
+            report.messages.append(
+                Message(
+                    source=node_id,
+                    destination=node.parent,
+                    kind=MessageKind.BATCH_HYPERVECTORS,
+                    payload_bytes=batch_bytes,
+                    sequence=1,
                 )
-                report.messages.append(
-                    Message(
-                        source=node_id,
-                        destination=node.parent,
-                        kind=MessageKind.BATCH_HYPERVECTORS,
-                        payload_bytes=batch_bytes,
-                        sequence=1,
-                    )
-                )
-                obs.incr("hierarchy.upward.bytes.class_model", model_bytes)
-                obs.incr(
-                    "hierarchy.upward.bytes.batch_hypervectors", batch_bytes
-                )
+            )
+            obs.incr("hierarchy.upward.bytes.class_model", model_bytes)
+            obs.incr(
+                "hierarchy.upward.bytes.batch_hypervectors", batch_bytes
+            )
 
     # ------------------------------------------------------------------
     # evaluation helpers

@@ -74,6 +74,133 @@ class Hierarchy:
             self.nodes[parent].children.append(node_id)
         return node_id
 
+    @property
+    def id_bound(self) -> int:
+        """Smallest integer exceeding every node id ever assigned.
+
+        Ids are never reused after a drain, so this only grows; it is
+        the stable count to draw per-node seed streams against (seed
+        ``i`` must not depend on how many nodes currently exist).
+        """
+        return self._next_id
+
+    def graft_leaf(self, parent: int) -> int:
+        """Admit a new end node under ``parent`` at runtime.
+
+        The new node takes the next free leaf index (so existing leaf
+        indices — and therefore existing feature slices — are
+        untouched) and the hierarchy is re-finalized. Returns the new
+        node id. ``parent`` must be a gateway or the central node:
+        grafting under an end node would silently convert it into a
+        gateway and orphan its feature slice.
+        """
+        if parent not in self.nodes:
+            raise KeyError(f"unknown parent node {parent}")
+        if self.nodes[parent].is_leaf:
+            raise ValueError(
+                f"cannot graft under end node {parent}; the parent must "
+                "be a gateway or the central node"
+            )
+        node_id = self.add_node(parent=parent, leaf_index=len(self.leaves()))
+        self.finalize()
+        return node_id
+
+    def remove_leaf(self, leaf_id: int) -> List[int]:
+        """Drain an end node, cascading through emptied gateways.
+
+        Gateways left childless are removed too (they would have
+        nothing to aggregate and would fail finalization), and the
+        remaining leaf indices are compacted to keep the 0..L-1
+        invariant. Returns every removed node id, the leaf first.
+        Removed ids are never reused — see :attr:`id_bound`.
+        """
+        node = self.nodes.get(leaf_id)
+        if node is None:
+            raise KeyError(f"unknown node {leaf_id}")
+        if not node.is_leaf:
+            raise ValueError(f"node {leaf_id} is not an end node")
+        if len(self.leaves()) <= 1:
+            raise ValueError("cannot remove the last end node")
+        assert node.parent is not None  # >1 leaf implies a non-leaf root
+        removed_index = node.leaf_index
+        removed = [leaf_id]
+        self.nodes[node.parent].children.remove(leaf_id)
+        current: Optional[int] = node.parent
+        del self.nodes[leaf_id]
+        while current is not None:
+            gateway = self.nodes[current]
+            if gateway.children or gateway.parent is None:
+                break
+            removed.append(current)
+            self.nodes[gateway.parent].children.remove(current)
+            del self.nodes[current]
+            current = gateway.parent
+        assert removed_index is not None
+        for n in self.nodes.values():
+            if n.is_leaf and n.leaf_index is not None and n.leaf_index > removed_index:
+                n.leaf_index -= 1
+        self.finalize()
+        return removed
+
+    def spec(self) -> dict:
+        """JSON-safe structural description for checkpointing.
+
+        Captures ids, parents, leaf indices and the id bound; children
+        order is recoverable because ids are assigned in insertion
+        order (``add_node`` appends, so a parent's children are always
+        sorted by id).
+        """
+        return {
+            "next_id": self._next_id,
+            "nodes": [
+                {
+                    "id": n.node_id,
+                    "parent": n.parent,
+                    "leaf_index": n.leaf_index,
+                }
+                for n in sorted(self.nodes.values(), key=lambda n: n.node_id)
+            ],
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "Hierarchy":
+        """Reconstruct a (possibly id-gapped) hierarchy from :meth:`spec`.
+
+        Bypasses sequential id assignment so drained topologies restore
+        with their original ids — required for the node-id-keyed seed
+        streams to regenerate identical encoders and projections.
+        """
+        h = cls()
+        entries = sorted(spec["nodes"], key=lambda e: int(e["id"]))
+        for entry in entries:
+            node_id = int(entry["id"])
+            parent = entry["parent"]
+            parent = None if parent is None else int(parent)
+            leaf_index = entry["leaf_index"]
+            leaf_index = None if leaf_index is None else int(leaf_index)
+            if node_id in h.nodes:
+                raise ValueError(f"duplicate node id {node_id} in spec")
+            if parent is None:
+                if h.root_id is not None:
+                    raise ValueError("spec has multiple roots")
+                h.root_id = node_id
+            elif parent not in h.nodes:
+                raise ValueError(
+                    f"spec node {node_id} references missing parent {parent}"
+                )
+            h.nodes[node_id] = Node(
+                node_id=node_id, parent=parent, leaf_index=leaf_index
+            )
+            if parent is not None:
+                h.nodes[parent].children.append(node_id)
+        next_id = int(spec["next_id"])
+        if h.nodes and next_id <= max(h.nodes):
+            raise ValueError(
+                f"spec next_id {next_id} does not exceed max node id {max(h.nodes)}"
+            )
+        h._next_id = next_id
+        return h.finalize()
+
     def finalize(self) -> "Hierarchy":
         """Compute levels and validate structure. Call after building."""
         if self.root_id is None:

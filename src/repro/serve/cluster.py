@@ -104,10 +104,22 @@ class ClusterConfig:
     ready_timeout_s: float = 60.0
     #: max seconds to wait for workers to exit on close().
     drain_timeout_s: float = 10.0
+    #: spawn a replacement worker (fresh replica id, same shard) when a
+    #: replica is evicted — the elastic control plane's replacement
+    #: loop applied to the process fleet. The replacement attaches the
+    #: same shared model store, so catch-up is a zero-copy attach.
+    respawn: bool = False
+    #: upper bound on replacement workers per run (runaway guard for
+    #: hosts where contention evicts replicas repeatedly).
+    max_respawns: int = 8
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_respawns < 0:
+            raise ValueError(
+                f"max_respawns must be >= 0, got {self.max_respawns}"
+            )
         if self.replicas_per_shard < 1:
             raise ValueError(
                 f"replicas_per_shard must be >= 1, got "
@@ -402,10 +414,54 @@ class ClusterRuntime:
         self._result_q = None
         self._zero_copy_reports: Dict[int, dict] = {}
         self._started = False
+        self._ctx: Optional[mp.context.BaseContext] = None
+        self._manifest: Optional[dict] = None
+        #: shard a replica id serves — replacements inherit their
+        #: predecessor's shard, and ids are never reused.
+        self._shard_of_replica: Dict[int, int] = {}
+        self.n_respawned = 0
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    def _spawn_worker(self, replica_id: int, shard_id: int) -> None:
+        """Spawn one worker process attached to the shared store.
+
+        Used both for the initial fleet and for eviction-triggered
+        replacements; ``replica_id`` must be fresh (task queues are
+        indexed by it and ids are never reused).
+        """
+        assert self._ctx is not None and self._manifest is not None
+        assert replica_id == len(self._task_qs)
+        spec = WorkerSpec(
+            hierarchy=self.hierarchy,
+            partition=self.federation.partition,
+            n_classes=self.federation.n_classes,
+            config=self.federation.config,
+            holographic=self.federation.holographic,
+            confidence_threshold=self.inference.confidence_threshold,
+            compression_count=self.inference.compression_count,
+            min_level=self.inference.min_level,
+            max_level=self.config.max_level,
+            search=self.search,
+            manifest=self._manifest,
+            replica_id=replica_id,
+            shard_id=shard_id,
+            heartbeat_interval_s=self.cluster.heartbeat_interval_s,
+            fault_plan=self.plan,
+        )
+        task_q = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(spec, task_q, self._result_q),
+            daemon=True,
+            name=f"repro-worker-{replica_id}",
+        )
+        proc.start()
+        self._task_qs.append(task_q)
+        self._procs.append(proc)
+        self._shard_of_replica[replica_id] = shard_id
+
     def start(self) -> None:
         """Publish the shared store and spawn the worker fleet."""
         if self._started:
@@ -416,40 +472,14 @@ class ClusterRuntime:
                 "fork" if "fork" in mp.get_all_start_methods() else None
             )
         ctx = mp.get_context(method)
+        self._ctx = ctx
         self._store = SharedModelStore.publish(self.federation)
-        manifest = self._store.manifest()
+        self._manifest = self._store.manifest()
         self._result_q = ctx.Queue()
         self._task_qs = []
         self._procs = []
         for replica_id in range(self.cluster.workers):
-            shard_id = replica_id % self.cluster.n_shards
-            spec = WorkerSpec(
-                hierarchy=self.hierarchy,
-                partition=self.federation.partition,
-                n_classes=self.federation.n_classes,
-                config=self.federation.config,
-                holographic=self.federation.holographic,
-                confidence_threshold=self.inference.confidence_threshold,
-                compression_count=self.inference.compression_count,
-                min_level=self.inference.min_level,
-                max_level=self.config.max_level,
-                search=self.search,
-                manifest=manifest,
-                replica_id=replica_id,
-                shard_id=shard_id,
-                heartbeat_interval_s=self.cluster.heartbeat_interval_s,
-                fault_plan=self.plan,
-            )
-            task_q = ctx.Queue()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(spec, task_q, self._result_q),
-                daemon=True,
-                name=f"repro-worker-{replica_id}",
-            )
-            proc.start()
-            self._task_qs.append(task_q)
-            self._procs.append(proc)
+            self._spawn_worker(replica_id, replica_id % self.cluster.n_shards)
         deadline = time.monotonic() + self.cluster.ready_timeout_s
         while len(self._zero_copy_reports) < self.cluster.workers:
             remaining = deadline - time.monotonic()
@@ -474,7 +504,7 @@ class ClusterRuntime:
                 self._zero_copy_reports[replica_id] = report
                 self.registry.register(
                     replica_id,
-                    replica_id % self.cluster.n_shards,
+                    self._shard_of_replica[replica_id],
                     time.monotonic(),
                 )
         self._started = True
@@ -747,7 +777,10 @@ class ClusterRuntime:
                 waited = now - buffer_open_wall.get(shard, now)
                 if waited >= max_wait_s or arrival_ptr >= n:
                     flush(shard)
-            # 3. evict silent replicas, re-dispatch their batches
+            # 3. evict silent replicas, re-dispatch their batches and —
+            #    with respawn enabled — spawn a replacement worker, so a
+            #    crash window becomes a replacement scenario instead of
+            #    a permanently smaller fleet.
             for info in self.registry.evict_stale(now):
                 n_timeouts += 1
                 stranded = [
@@ -765,6 +798,19 @@ class ClusterRuntime:
                     del outstanding[d.batch_id]
                     n_retries += len(d.indices)
                     dispatch(d.shard_id, d.indices)
+                if (
+                    self.cluster.respawn
+                    and self.n_respawned < self.cluster.max_respawns
+                ):
+                    new_id = len(self._task_qs)
+                    self.n_respawned += 1
+                    logger.info(
+                        "cluster: respawning shard %d as replica %d",
+                        info.shard_id, new_id,
+                    )
+                    if obs.enabled():
+                        obs.incr("cluster.respawns")
+                    self._spawn_worker(new_id, info.shard_id)
             # 4. drain worker results (block briefly to avoid spinning)
             timeout = self._drain_timeout(
                 arrival_ptr, n, order, arrivals, rel, buffer_open_wall,
@@ -829,8 +875,19 @@ class ClusterRuntime:
                                 ),
                             )
                         last_completion_wall = done_wall
-                # "ready"/"bye" during a run: late re-registration is
-                # not supported; ignore.
+                elif kind == "ready":
+                    # A replacement worker came up mid-run: register it
+                    # on its predecessor's shard so the picker can use
+                    # it. (Without respawn there is nothing to arrive.)
+                    replica_id, report = msg[1], msg[2]
+                    if replica_id not in self.registry:
+                        self._zero_copy_reports[replica_id] = report
+                        self.registry.register(
+                            replica_id,
+                            self._shard_of_replica[replica_id],
+                            done_wall,
+                        )
+                # "bye" during a run: ignore.
                 try:
                     assert self._result_q is not None
                     msg = self._result_q.get_nowait()

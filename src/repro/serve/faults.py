@@ -256,6 +256,48 @@ class FaultPlan:
             )
 
     # ------------------------------------------------------------------
+    def respawn_times(self) -> Dict[int, float]:
+        """Nodes whose crash window *ends* — i.e. replaced nodes.
+
+        A finite window models the elastic control plane's replacement
+        loop: the node is unreachable from ``start_s``, and at ``end_s``
+        its respawned successor (restored from checkpoint and caught up
+        via journal replay) starts answering again. Nodes with an
+        infinite window are permanently lost and do not appear here.
+        """
+        return {
+            node_id: end
+            for node_id, (_, end) in self.crash_windows.items()
+            if math.isfinite(end)
+        }
+
+    @classmethod
+    def replacement(
+        cls,
+        node_id: int,
+        crash_start_s: float,
+        outage_s: float,
+        *,
+        seed: int = 0,
+        **knobs: object,
+    ) -> "FaultPlan":
+        """Plan for one crash-and-replace cycle of ``node_id``.
+
+        The node is down for exactly ``outage_s`` — the detection lag
+        plus restore time of the replacement loop — then serves again.
+        Contrast with a bare ``crash_windows={node: (t, inf)}`` plan,
+        which models permanent loss. Extra keyword knobs pass through
+        to the plan (e.g. ``drop_probability`` for ambient chaos).
+        """
+        if outage_s <= 0:
+            raise ValueError(f"outage_s must be > 0, got {outage_s}")
+        return cls(
+            seed=seed,
+            crash_windows={node_id: (crash_start_s, crash_start_s + outage_s)},
+            **knobs,  # type: ignore[arg-type]
+        )
+
+    # ------------------------------------------------------------------
     @staticmethod
     def sample_crashes(
         seed: SeedLike,

@@ -113,6 +113,27 @@ class ReplicaRegistry:
                 evicted.append(info)
         return evicted
 
+    def deregister(self, replica_id: int) -> Optional[ReplicaInfo]:
+        """Remove a replica's record entirely (planned drain).
+
+        Unlike :meth:`mark_unhealthy` — which keeps the record so a
+        late heartbeat can resurrect it — deregistration is for nodes
+        leaving on purpose: a later beat from the removed id is ignored
+        and its id is free for the control plane to never reuse.
+        Returns the removed record, or ``None`` if it was not tracked.
+        """
+        return self._replicas.pop(replica_id, None)
+
+    def lease_remaining(self, replica_id: int, now: float) -> float:
+        """Seconds until the replica's lease expires (<= 0: expired).
+
+        The lease is ``heartbeat_timeout_s`` past the last beat — the
+        contract :meth:`evict_stale` enforces. Exposed so control-plane
+        monitors can schedule detection sweeps instead of polling.
+        """
+        info = self._replicas[replica_id]
+        return info.last_beat_s + self.heartbeat_timeout_s - now
+
     def mark_unhealthy(self, replica_id: int) -> Optional[ReplicaInfo]:
         """Immediately evict a replica (e.g. its process exited)."""
         info = self._replicas.get(replica_id)

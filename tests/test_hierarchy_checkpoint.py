@@ -161,3 +161,112 @@ class TestPackedRoundtrip:
             assert np.array_equal(before.labels, after.labels)
             # packed similarities are integer Hamming scores: bit-equal
             assert np.array_equal(before.top_confidence, after.top_confidence)
+
+
+class TestErrorContext:
+    """Every ``CheckpointError`` names the file and what diverged.
+
+    Operators diagnose restore failures from the message alone (the
+    CLI prints it and exits), so each error must carry the checkpoint
+    path plus the expected-vs-found detail — regression tests for the
+    error-context contract of ``load_federation``.
+    """
+
+    def _saved(self, trained, tmp_path):
+        data, partition, config, federation = trained
+        path = tmp_path / "ctx.npz"
+        save_federation(federation, path)
+        return data, partition, config, path
+
+    def test_mismatch_names_path_and_both_values(self, trained, tmp_path):
+        data, partition, config, path = self._saved(trained, tmp_path)
+        other = config.with_overrides(seed=99)
+        with pytest.raises(CheckpointError) as err:
+            load_federation(fresh(data, partition, other), path)
+        msg = str(err.value)
+        assert str(path) in msg
+        assert "'seed'" in msg
+        assert f"saved {config.seed!r}" in msg
+        assert "vs federation 99" in msg
+
+    def test_garbage_file_names_path(self, trained, tmp_path):
+        data, partition, config, _ = trained
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"definitely not a zip archive")
+        with pytest.raises(CheckpointError) as err:
+            load_federation(fresh(data, partition, config), path)
+        msg = str(err.value)
+        assert str(path) in msg
+        assert "not a readable checkpoint archive" in msg
+
+    def test_truncated_archive_names_path(self, trained, tmp_path):
+        data, partition, config, path = self._saved(trained, tmp_path)
+        raw = path.read_bytes()
+        target = tmp_path / "trunc.npz"
+        target.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointError) as err:
+            load_federation(fresh(data, partition, config), target)
+        assert str(target) in str(err.value)
+
+    def test_version_mismatch_names_expected_and_found(
+        self, trained, tmp_path
+    ):
+        import json
+
+        data, partition, config, path = self._saved(trained, tmp_path)
+        arrays = dict(np.load(path, allow_pickle=False))
+        meta = json.loads(bytes(arrays["meta"]).decode("utf-8"))
+        meta["format_version"] = 99
+        arrays["meta"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        target = tmp_path / "vers.npz"
+        np.savez_compressed(str(target), **arrays)
+        with pytest.raises(CheckpointError) as err:
+            load_federation(fresh(data, partition, config), target)
+        msg = str(err.value)
+        assert str(target) in msg
+        assert "expected 1" in msg
+        assert "found 99" in msg
+
+    def test_missing_model_lists_expected_and_found(self, trained, tmp_path):
+        data, partition, config, path = self._saved(trained, tmp_path)
+        arrays = dict(np.load(path, allow_pickle=False))
+        del arrays["node_0"]
+        target = tmp_path / "missing.npz"
+        np.savez_compressed(str(target), **arrays)
+        with pytest.raises(CheckpointError) as err:
+            load_federation(fresh(data, partition, config), target)
+        msg = str(err.value)
+        assert str(target) in msg
+        assert "missing model for node 0" in msg
+        # both sides of the diff: what was wanted, what the file holds
+        assert "expected arrays for nodes" in msg
+        assert "found entries" in msg
+        assert "node_1" in msg
+
+    def test_wrong_shape_names_both_shapes(self, trained, tmp_path):
+        data, partition, config, path = self._saved(trained, tmp_path)
+        arrays = dict(np.load(path, allow_pickle=False))
+        arrays["node_0"] = np.ones((2, 3))
+        target = tmp_path / "shape.npz"
+        np.savez_compressed(str(target), **arrays)
+        with pytest.raises(CheckpointError) as err:
+            load_federation(fresh(data, partition, config), target)
+        msg = str(err.value)
+        assert str(target) in msg
+        assert "(2, 3)" in msg
+        assert "expected" in msg
+
+    def test_missing_meta_lists_found_entries(self, trained, tmp_path):
+        data, partition, config, path = self._saved(trained, tmp_path)
+        arrays = dict(np.load(path, allow_pickle=False))
+        del arrays["meta"]
+        target = tmp_path / "nometa.npz"
+        np.savez_compressed(str(target), **arrays)
+        with pytest.raises(CheckpointError) as err:
+            load_federation(fresh(data, partition, config), target)
+        msg = str(err.value)
+        assert str(target) in msg
+        assert "missing metadata block" in msg
+        assert "node_0" in msg

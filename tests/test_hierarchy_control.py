@@ -1,0 +1,439 @@
+"""Unit tests for the elastic topology control plane.
+
+Pins the control plane's core contracts:
+
+* **join bit-exactness** — a runtime-joined end node (and every refit
+  ancestor) is bit-identical to a federation constructed at build time
+  with the same grown topology and partition;
+* **refit minimality** — untouched subtrees are not rebuilt or
+  retrained by a mutation;
+* **drain** — columns redistribute, emptied gateways cascade away, ids
+  are never reused;
+* **checkpoint/restore** — full controller state (models, residuals,
+  propagation counter) round-trips bit-exactly;
+* **fail/detect/respawn** — a crashed node is detected by lease
+  expiry and recovers bit-exactly from checkpoint + journal replay;
+* **fingerprint determinism** — same construction, same hash.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import EdgeHDConfig
+from repro.data import make_classification
+from repro.data.partition import FeaturePartition, partition_features
+from repro.hierarchy import (
+    EdgeHDFederation,
+    HierarchicalInference,
+    NodeLeaseMonitor,
+    NodeState,
+    OnlineLearner,
+    TopologyController,
+    build_deep_tree,
+    build_tree,
+)
+
+N_FEATURES = 16
+N_CLASSES = 3
+
+
+def _config(**overrides):
+    base = dict(
+        dimension=512, batch_size=10, retrain_epochs=4, seed=17,
+        confidence_threshold=0.3,
+    )
+    base.update(overrides)
+    return EdgeHDConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def data():
+    x, y = make_classification(
+        n_samples=240, n_features=N_FEATURES, n_classes=N_CLASSES,
+        seed=11, name="ctl-fixture",
+    )
+    return x, y
+
+
+def make_controller(data, *, with_learner=True, n_leaves=4, builder=None):
+    x, y = data
+    config = _config()
+    hierarchy = (builder or build_tree)(n_leaves)
+    partition = partition_features(N_FEATURES, len(hierarchy.leaves()))
+    hierarchy.allocate_dimensions(config.dimension, partition.feature_counts())
+    federation = EdgeHDFederation(hierarchy, partition, N_CLASSES, config)
+    learner = OnlineLearner(federation) if with_learner else None
+    controller = TopologyController(federation, x, y, learner=learner)
+    controller.fit()
+    return controller
+
+
+def build_time_twin(controller, data, graft_under=None):
+    """A federation trained from scratch on the controller's topology."""
+    x, y = data
+    fed = controller.federation
+    hierarchy = build_tree(4)
+    if graft_under == "root":
+        hierarchy.graft_leaf(hierarchy.root_id)
+    partition = FeaturePartition(slices=fed.partition.slices)
+    hierarchy.allocate_dimensions(
+        fed.config.dimension, partition.feature_counts()
+    )
+    twin = EdgeHDFederation(hierarchy, partition, N_CLASSES, fed.config)
+    twin.fit_offline(x, y)
+    return twin
+
+
+def assert_models_equal(a: EdgeHDFederation, b: EdgeHDFederation) -> None:
+    assert set(a.classifiers) == set(b.classifiers)
+    for nid in a.classifiers:
+        ma = a.classifiers[nid].class_hypervectors
+        mb = b.classifiers[nid].class_hypervectors
+        assert ma.shape == mb.shape, f"node {nid} shape"
+        assert np.array_equal(ma, mb), f"node {nid} model differs"
+
+
+class TestJoin:
+    def test_joined_node_bit_exact_vs_build_time(self, data):
+        controller = make_controller(data)
+        result = controller.join(controller.federation.hierarchy.root_id)
+        twin = build_time_twin(controller, data, graft_under="root")
+        assert_models_equal(controller.federation, twin)
+        assert result.node_id in controller.federation.hierarchy.leaves()
+
+    def test_joined_node_served_answers_bit_identical(self, data):
+        controller = make_controller(data)
+        join = controller.join(controller.federation.hierarchy.root_id)
+        twin = build_time_twin(controller, data, graft_under="root")
+        x, _ = data
+        start = np.full(50, join.node_id, dtype=np.int64)
+        grown = HierarchicalInference(controller.federation).run(
+            x[:50], start_leaves=start
+        )
+        built = HierarchicalInference(twin).run(x[:50], start_leaves=start)
+        assert np.array_equal(grown.labels, built.labels)
+        assert np.array_equal(grown.deciding_node, built.deciding_node)
+        assert np.array_equal(grown.confidence, built.confidence)
+
+    def test_untouched_subtree_not_refit(self, data):
+        controller = make_controller(data)
+        fed = controller.federation
+        hierarchy = fed.hierarchy
+        # Donate from the default donor; the other gateway's subtree
+        # must keep its encoder *objects* (rebuild would replace them).
+        donor_default = max(
+            hierarchy.leaves(),
+            key=lambda l: len(fed.partition.slices[hierarchy.nodes[l].leaf_index]),
+        )
+        untouched = [
+            l for l in hierarchy.leaves()
+            if hierarchy.nodes[l].parent != hierarchy.nodes[donor_default].parent
+        ]
+        before = {l: fed.encoders[l] for l in untouched}
+        models = {
+            l: fed.classifiers[l].class_hypervectors.copy() for l in untouched
+        }
+        result = controller.join(hierarchy.root_id)
+        assert result.donors == (donor_default,)
+        for l in untouched:
+            assert l not in result.refit_nodes
+            assert fed.encoders[l] is before[l]
+            assert np.array_equal(
+                fed.classifiers[l].class_hypervectors, models[l]
+            )
+
+    def test_explicit_columns(self, data):
+        controller = make_controller(data)
+        fed = controller.federation
+        taken = fed.partition.slices[0][-1:] + fed.partition.slices[1][-1:]
+        result = controller.join(
+            fed.hierarchy.root_id, columns=taken
+        )
+        assert result.columns == tuple(sorted(taken))
+        assert len(result.donors) == 2
+        fed.partition.validate()
+
+    def test_join_rejects_bad_inputs(self, data):
+        controller = make_controller(data)
+        fed = controller.federation
+        leaf = fed.hierarchy.leaves()[0]
+        with pytest.raises(KeyError):
+            controller.join(999)
+        with pytest.raises(ValueError, match="end node"):
+            controller.join(leaf)
+        with pytest.raises(ValueError, match="not part of"):
+            controller.join(fed.hierarchy.root_id, columns=[N_FEATURES + 5])
+        with pytest.raises(ValueError, match="duplicate"):
+            controller.join(fed.hierarchy.root_id, columns=[0, 0])
+        with pytest.raises(ValueError, match="without columns"):
+            controller.join(
+                fed.hierarchy.root_id, columns=list(fed.partition.slices[0])
+            )
+
+    def test_join_requires_trained_controller(self, data):
+        x, y = data
+        config = _config()
+        hierarchy = build_tree(4)
+        partition = partition_features(N_FEATURES, 4)
+        hierarchy.allocate_dimensions(
+            config.dimension, partition.feature_counts()
+        )
+        fed = EdgeHDFederation(hierarchy, partition, N_CLASSES, config)
+        controller = TopologyController(fed, x, y)
+        with pytest.raises(RuntimeError, match="fit"):
+            controller.join(hierarchy.root_id)
+
+
+class TestDrain:
+    def test_drain_redistributes_columns(self, data):
+        controller = make_controller(data)
+        fed = controller.federation
+        victim = fed.hierarchy.leaves()[0]
+        n_before = fed.partition.n_features
+        result = controller.drain(victim)
+        assert victim in result.removed_nodes
+        assert victim not in fed.hierarchy.nodes
+        assert fed.partition.n_features == n_before
+        fed.partition.validate()
+        x, _ = data
+        outcome = HierarchicalInference(fed).run(x[:20])
+        assert outcome.labels.shape == (20,)
+
+    def test_drain_cascades_empty_gateways(self, data):
+        controller = make_controller(data)
+        fed = controller.federation
+        gateway = [
+            nid for nid, node in fed.hierarchy.nodes.items()
+            if node.level == 2
+        ][0]
+        a, b = fed.hierarchy.nodes[gateway].children
+        controller.drain(a)
+        result = controller.drain(b)
+        assert set(result.removed_nodes) == {b, gateway}
+        assert gateway not in fed.hierarchy.nodes
+        assert gateway not in fed.classifiers
+
+    def test_drain_then_join_never_reuses_ids(self, data):
+        controller = make_controller(data)
+        fed = controller.federation
+        victim = fed.hierarchy.leaves()[0]
+        controller.drain(victim)
+        result = controller.join(fed.hierarchy.root_id)
+        assert result.node_id != victim
+        assert result.node_id > max(
+            nid for nid in fed.hierarchy.nodes if nid != result.node_id
+        )
+
+    def test_drain_rejects_bad_inputs(self, data):
+        controller = make_controller(data)
+        fed = controller.federation
+        with pytest.raises(KeyError):
+            controller.drain(999)
+        with pytest.raises(ValueError, match="not an end node"):
+            controller.drain(fed.hierarchy.root_id)
+        leaves = list(fed.hierarchy.leaves())
+        for leaf in leaves[:-1]:
+            controller.drain(leaf)
+        with pytest.raises(ValueError, match="last end node"):
+            controller.drain(fed.hierarchy.leaves()[0])
+
+    def test_drain_deep_tree(self, data):
+        controller = make_controller(
+            data, n_leaves=4, builder=lambda n: build_deep_tree(n, depth=4)
+        )
+        fed = controller.federation
+        victim = fed.hierarchy.leaves()[-1]
+        controller.drain(victim)
+        fed.partition.validate()
+        assert victim not in fed.hierarchy.nodes
+
+
+class TestCheckpointRestore:
+    def test_round_trip_bit_exact(self, data, tmp_path):
+        controller = make_controller(data)
+        path = tmp_path / "topo.npz"
+        controller.checkpoint(path)
+        restored = TopologyController.restore(path, *data)
+        assert_models_equal(controller.federation, restored.federation)
+        assert restored.states == controller.states
+
+    def test_round_trip_preserves_online_state(self, data, tmp_path):
+        controller = make_controller(data)
+        fed = controller.federation
+        x, _ = data
+        enc = fed.encode_all(x[:6])
+        leaf = fed.hierarchy.leaves()[0]
+        controller.record_feedback(
+            leaf, enc[leaf][0].astype(np.float64), 0, 1
+        )
+        controller.learner.propagate()
+        controller.record_feedback(
+            leaf, enc[leaf][1].astype(np.float64), 1, 2
+        )
+        path = tmp_path / "topo.npz"
+        controller.checkpoint(path)
+        restored = TopologyController.restore(path, *data)
+        assert restored.learner is not None
+        assert (
+            restored.learner._propagations
+            == controller.learner._propagations
+        )
+        assert (
+            restored.learner.pending_feedback()
+            == controller.learner.pending_feedback()
+        )
+        for nid in controller.learner.residuals:
+            a = controller.learner.residuals[nid]
+            b = restored.learner.residuals[nid]
+            assert np.array_equal(a.negative, b.negative)
+            assert np.array_equal(a.positive, b.positive)
+            assert np.array_equal(a.negative_counts, b.negative_counts)
+            assert np.array_equal(a.positive_counts, b.positive_counts)
+            assert a.feedback_count == b.feedback_count
+        # ...and the next propagation is bit-identical on both sides.
+        controller.learner.propagate()
+        restored.learner.propagate()
+        assert_models_equal(controller.federation, restored.federation)
+
+    def test_checkpoint_after_mutation_round_trips(self, data, tmp_path):
+        controller = make_controller(data)
+        controller.join(controller.federation.hierarchy.root_id)
+        controller.drain(controller.federation.hierarchy.leaves()[0])
+        path = tmp_path / "topo.npz"
+        controller.checkpoint(path)
+        restored = TopologyController.restore(path, *data)
+        assert_models_equal(controller.federation, restored.federation)
+        assert (
+            restored.federation.hierarchy.spec()
+            == controller.federation.hierarchy.spec()
+        )
+
+
+class TestFailRespawn:
+    def test_fail_wipes_and_respawn_restores_bit_exact(self, data, tmp_path):
+        controller = make_controller(data)
+        fed = controller.federation
+        victim = fed.hierarchy.leaves()[0]
+        path = tmp_path / "topo.npz"
+        controller.heartbeat_active(0.0)
+        controller.checkpoint(path)
+        before = fed.classifiers[victim].class_hypervectors.copy()
+        controller.fail(victim, now=0.1)
+        assert controller.states[victim] is NodeState.CRASHED
+        assert fed.classifiers[victim].class_hypervectors is None
+        replayed = controller.respawn(victim, path, now=0.2)
+        assert replayed == 0
+        assert controller.states[victim] is NodeState.ACTIVE
+        assert np.array_equal(
+            fed.classifiers[victim].class_hypervectors, before
+        )
+
+    def test_journal_replay_covers_lost_and_buffered_feedback(
+        self, data, tmp_path
+    ):
+        controller = make_controller(data)
+        fed = controller.federation
+        x, _ = data
+        victim = fed.hierarchy.leaves()[0]
+        enc = fed.encode_all(x[:8])
+        path = tmp_path / "topo.npz"
+        controller.checkpoint(path)
+        hv = lambda i: enc[victim][i].astype(np.float64)
+        applied = controller.record_feedback(victim, hv(0), 0, 1)
+        assert applied
+        controller.fail(victim)
+        assert controller.learner.residuals[victim].feedback_count == 0
+        buffered = controller.record_feedback(victim, hv(1), 1, 2)
+        assert not buffered  # node down: journaled, not applied
+        assert controller.learner.residuals[victim].feedback_count == 0
+        replayed = controller.respawn(victim, path)
+        assert replayed == 2  # the lost event and the buffered one
+        assert controller.learner.residuals[victim].feedback_count == 2
+
+    def test_respawned_node_matches_never_crashed_twin(self, data, tmp_path):
+        crashed = make_controller(data)
+        clean = make_controller(data)
+        x, _ = data
+        victim = crashed.federation.hierarchy.leaves()[0]
+        enc = crashed.federation.encode_all(x[:8])
+        path = tmp_path / "topo.npz"
+        crashed.checkpoint(path)
+        events = [
+            (victim, enc[victim][i].astype(np.float64), i % N_CLASSES,
+             (i + 1) % N_CLASSES)
+            for i in range(4)
+        ]
+        for ctl in (crashed, clean):
+            for e in events[:2]:
+                ctl.record_feedback(*e)
+        crashed.fail(victim)
+        for ctl in (crashed, clean):
+            for e in events[2:]:
+                ctl.record_feedback(*e)
+        crashed.respawn(victim, path)
+        crashed.learner.propagate()
+        clean.learner.propagate()
+        assert_models_equal(crashed.federation, clean.federation)
+
+    def test_detection_via_lease_expiry(self, data):
+        controller = make_controller(data, with_learner=False)
+        victim = controller.federation.hierarchy.leaves()[0]
+        controller.heartbeat_active(0.0)
+        controller.fail(victim, now=0.1)
+        controller.heartbeat_active(0.5)
+        assert controller.detect_failures(0.5) == []
+        controller.heartbeat_active(1.0)  # victim stays silent
+        detected = controller.detect_failures(1.2)
+        assert detected == [victim]
+        # reported exactly once
+        controller.heartbeat_active(1.5)
+        assert controller.detect_failures(1.6) == []
+
+    def test_fail_rejects_root_and_double_crash(self, data):
+        controller = make_controller(data, with_learner=False)
+        fed = controller.federation
+        with pytest.raises(ValueError, match="central node"):
+            controller.fail(fed.hierarchy.root_id)
+        victim = fed.hierarchy.leaves()[0]
+        controller.fail(victim)
+        with pytest.raises(ValueError, match="already crashed"):
+            controller.fail(victim)
+        with pytest.raises(ValueError, match="crashed"):
+            controller.drain(victim)
+
+    def test_respawn_requires_crashed_state(self, data, tmp_path):
+        controller = make_controller(data)
+        path = tmp_path / "topo.npz"
+        controller.checkpoint(path)
+        with pytest.raises(ValueError, match="not crashed"):
+            controller.respawn(
+                controller.federation.hierarchy.leaves()[0], path
+            )
+
+
+class TestFingerprint:
+    def test_deterministic_across_constructions(self, data):
+        a = make_controller(data)
+        b = make_controller(data)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_changes_after_mutation(self, data):
+        controller = make_controller(data)
+        before = controller.fingerprint()
+        controller.join(controller.federation.hierarchy.root_id)
+        assert controller.fingerprint() != before
+
+
+class TestLeaseMonitor:
+    def test_track_beat_expire_release(self):
+        monitor = NodeLeaseMonitor(lease_timeout_s=1.0)
+        monitor.track(3, level=1, now=0.0)
+        monitor.track(4, level=2, now=0.0)
+        monitor.beat(3, 0.8)
+        assert monitor.expired(1.5) == [4]
+        assert monitor.expired(1.5) == []  # reported once
+        assert monitor.lease_remaining(3, 1.0) == pytest.approx(0.8)
+        monitor.release(3)
+        assert monitor.expired(10.0) == []  # released: never reported

@@ -143,6 +143,104 @@ class TestReplicaRegistry:
         assert summary["n_resurrected"] == 0
 
 
+class TestRegistryLeaseEdgeCases:
+    """Interleavings at lease boundaries (ISSUE 10 satellite 4).
+
+    The topology control plane reuses the registry's lease semantics
+    for node-crash detection, so the exact boundary behavior — strict
+    inequality, resurrection mid-re-dispatch, late beats after a
+    planned drain — is load-bearing beyond the serving cluster.
+    """
+
+    def test_resurrection_after_evict_during_redispatch(self):
+        # replica 0 goes quiet with a batch in flight; the router
+        # evicts it and re-dispatches the stranded batch to replica 1.
+        reg = ReplicaRegistry(heartbeat_timeout_s=1.0)
+        reg.register(0, 0, now=0.0)
+        reg.register(1, 0, now=0.0)
+        reg.dispatch(0, 4)
+        reg.beat(1, now=2.0)
+        assert [i.replica_id for i in reg.evict_stale(now=2.5)] == [0]
+        reg.dispatch(1, 4)  # re-dispatch of the stranded batch
+        # mid-re-dispatch, the "dead" worker beats: it was slow, not
+        # gone. It must come back with an EMPTY in-flight count — its
+        # old batch now belongs to replica 1.
+        assert reg.beat(0, now=2.6) is True
+        assert reg.get(0).in_flight == 0
+        assert reg.n_resurrected == 1
+        # the old batch's late completion clamps at zero rather than
+        # going negative and skewing selection forever after
+        reg.complete(0, 4)
+        assert reg.get(0).in_flight == 0
+        # selection prefers the resurrected idle replica again
+        assert reg.pick(0).replica_id == 0
+        # and total shard load reflects only the live re-dispatch
+        assert reg.shard_in_flight(0) == 4
+
+    def test_lease_expiry_races_late_heartbeat(self):
+        # eviction is strictly-greater-than: a beat landing exactly at
+        # the lease boundary keeps the replica alive.
+        reg = ReplicaRegistry(heartbeat_timeout_s=1.0)
+        reg.register(0, 0, now=0.0)
+        assert reg.lease_remaining(0, now=1.0) == 0.0
+        assert reg.evict_stale(now=1.0) == []  # boundary: still held
+        assert reg.get(0).healthy
+        # one tick past the boundary the lease is gone
+        assert [i.replica_id for i in reg.evict_stale(now=1.0 + 1e-9)] == [0]
+        assert reg.lease_remaining(0, now=1.5) < 0
+        # the heartbeat that lost the race arrives now: resurrection,
+        # counted once, and the replica is not re-reported as evicted
+        assert reg.beat(0, now=1.5) is True
+        assert reg.beat(0, now=1.6) is False  # already healthy
+        assert reg.n_evicted == 1 and reg.n_resurrected == 1
+        assert reg.evict_stale(now=1.7) == []
+
+    def test_beat_after_deregister_is_ignored(self):
+        # planned drain: a late beat from the departed id must not
+        # re-create the record (ids are never reused by the control
+        # plane, so a revenant here would be a ghost replica).
+        reg = ReplicaRegistry(heartbeat_timeout_s=1.0)
+        reg.register(0, 0, now=0.0)
+        gone = reg.deregister(0)
+        assert gone is not None and gone.replica_id == 0
+        assert reg.beat(0, now=0.5) is False
+        assert 0 not in reg and len(reg) == 0
+        assert reg.deregister(0) is None  # idempotent
+
+    def test_eviction_and_resurrection_under_sanitizer(
+        self, cluster_setup
+    ):
+        """The crash → evict → degrade path stays race-free with the
+        REPRO_SAN ownership guard armed: a worker-kill serve completes
+        with zero lost requests and no RaceError."""
+        from repro.serve import sanitizer
+
+        inference, workload, offline, _ = cluster_setup
+        plan = FaultPlan(crash_windows={0: (0.0, float("inf"))})
+        sanitizer.enable(True)
+        try:
+            with ClusterRuntime(
+                inference,
+                get_medium("wired-1gbps"),
+                ServeConfig(max_batch=16, max_wait_ms=1.0, queue_depth=512),
+                cluster=ClusterConfig(
+                    workers=2,
+                    heartbeat_interval_s=0.02,
+                    heartbeat_timeout_s=0.3,
+                ),
+                fault_plan=plan,
+            ) as runtime:
+                result = runtime.serve_open_loop(
+                    workload, rate_rps=2000.0, seed=1
+                )
+                assert runtime.registry.n_evicted >= 1
+        finally:
+            sanitizer.enable(False)
+        assert result.n_answered == len(workload)
+        out = result.to_outcome()
+        assert np.array_equal(out.labels, offline.labels)
+
+
 # ----------------------------------------------------------------------
 # consistent-hash ring / config validation
 # ----------------------------------------------------------------------
